@@ -1,0 +1,139 @@
+// Package buddy is a from-scratch reproduction of "Buddy Compression:
+// Enabling Larger Memory for Deep Learning and HPC Workloads on GPUs"
+// (Choukse et al., ISCA 2020). It provides:
+//
+//   - the Buddy Compression mechanism itself: compressed GPU allocations
+//     with fixed per-entry sector budgets split between device memory and an
+//     NVLink-attached buddy carve-out (NewDevice, Device.Malloc),
+//   - the profiling pass that chooses per-allocation target compression
+//     ratios under a Buddy Threshold (Profile),
+//   - the hardware compression algorithms the paper evaluates (NewBPC and
+//     the baselines via Compressors),
+//   - the synthetic workload suite standing in for the paper's sixteen
+//     benchmarks (Workloads), and
+//   - runners that regenerate every table and figure of the paper's
+//     evaluation (the Experiment* functions and cmd/buddysim).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package buddy
+
+import (
+	"buddy/internal/compress"
+	"buddy/internal/core"
+	"buddy/internal/memory"
+	"buddy/internal/workloads"
+)
+
+// EntryBytes is the compression granularity: one 128 B memory-entry.
+const EntryBytes = compress.EntryBytes
+
+// SectorBytes is the GPU memory access granularity (32 B).
+const SectorBytes = compress.SectorBytes
+
+// Device is a Buddy Compression GPU memory device.
+type Device = core.Device
+
+// Allocation is a compressed allocation on a Device.
+type Allocation = core.Allocation
+
+// Config parameterizes a Device; the zero value takes the paper's final
+// design defaults (§3.5).
+type Config = core.Config
+
+// Traffic holds a Device's byte-level traffic counters.
+type Traffic = core.Traffic
+
+// TargetRatio is an allocation's annotated target compression ratio.
+type TargetRatio = core.TargetRatio
+
+// Target ratios (§3.2): 4, 3, 2 or 1 device sectors per 128 B entry, plus
+// the 16x mostly-zero mode keeping 8 B (§3.4).
+const (
+	Target1x    = core.Target1x
+	Target4by3x = core.Target4by3x
+	Target2x    = core.Target2x
+	Target4x    = core.Target4x
+	Target16x   = core.Target16x
+)
+
+// NewDevice creates a Buddy Compression device. Zero-valued Config fields
+// default to the paper's final design (BPC, 12 GB device, 3x carve-out,
+// 4-way sliced metadata cache).
+func NewDevice(cfg Config) *Device { return core.NewDevice(cfg) }
+
+// DefaultConfig returns the paper's final design parameters.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Compressor compresses 128 B memory-entries.
+type Compressor = compress.Compressor
+
+// NewBPC returns Bit-Plane Compression, the paper's chosen algorithm.
+func NewBPC() Compressor { return compress.NewBPC() }
+
+// Compressors returns every implemented algorithm: BPC plus the BDI, FPC,
+// C-PACK and zero-compression baselines of the paper's comparison (§2.4).
+func Compressors() []Compressor { return compress.Registry() }
+
+// ProfileOptions configure the profiling pass.
+type ProfileOptions = core.ProfileOptions
+
+// ProfileResult is the outcome of the profiling pass.
+type ProfileResult = core.ProfileResult
+
+// FinalDesign returns the paper's final profiling configuration:
+// per-allocation targets, 30% Buddy Threshold, zero-page optimization, 4x
+// carve-out cap (§3.5).
+func FinalDesign() ProfileOptions { return core.FinalDesign() }
+
+// Profile runs the target-ratio selection pass over profiling snapshots.
+func Profile(snaps []*Snapshot, c Compressor, opt ProfileOptions) *ProfileResult {
+	return core.Profile(snaps, c, opt)
+}
+
+// Snapshot is one memory dump: the live allocations at a point in a
+// workload's execution.
+type Snapshot = memory.Snapshot
+
+// MemAllocation is one region of a Snapshot.
+type MemAllocation = memory.Allocation
+
+// Benchmark describes one synthetic workload of Tab. 1.
+type Benchmark = workloads.Benchmark
+
+// Workloads returns the sixteen benchmarks of the paper's Tab. 1.
+func Workloads() []Benchmark { return workloads.Table1() }
+
+// WorkloadByName returns the named Tab. 1 benchmark.
+func WorkloadByName(name string) (Benchmark, error) { return workloads.ByName(name) }
+
+// GenerateRun synthesizes a benchmark's ten profiling snapshots at 1/scale
+// of its true footprint (statistics are per-entry and scale-free).
+func GenerateRun(b Benchmark, scale int) []*Snapshot {
+	return workloads.GenerateRun(b, scale)
+}
+
+// LoadSnapshot allocates a snapshot's regions on a device with the given
+// targets (falling back to 1x) and writes every entry through the
+// compression pipeline. It returns the created allocations in order.
+func LoadSnapshot(d *Device, s *Snapshot, targets map[string]TargetRatio) ([]*Allocation, error) {
+	var out []*Allocation
+	for _, a := range s.Allocations {
+		t, ok := targets[a.Name]
+		if !ok {
+			t = Target1x
+		}
+		alloc, err := d.Malloc(a.Name, int64(len(a.Data)), t)
+		if err != nil {
+			return out, err
+		}
+		n := a.Entries()
+		for i := 0; i < n; i++ {
+			if err := alloc.WriteEntry(i, a.Entry(i)); err != nil {
+				return out, err
+			}
+		}
+		out = append(out, alloc)
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package buddy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"buddy/internal/gen"
+)
+
+func TestPublicAPIFlow(t *testing.T) {
+	// End-to-end through the facade: profile -> annotate -> load -> verify.
+	bench, err := WorkloadByName("352.ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := GenerateRun(bench, 16384)
+	prof := Profile(snaps, NewBPC(), FinalDesign())
+	if prof.CompressionRatio < 1.5 {
+		t.Errorf("352.ep should compress well, got %.2fx", prof.CompressionRatio)
+	}
+
+	data := snaps[0]
+	dev := NewDevice(Config{DeviceBytes: int64(data.TotalBytes())})
+	allocs, err := LoadSnapshot(dev, data, prof.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != len(data.Allocations) {
+		t.Fatalf("want %d allocations, got %d", len(data.Allocations), len(allocs))
+	}
+	got := make([]byte, EntryBytes)
+	for ai, a := range allocs {
+		src := data.Allocations[ai]
+		for i := 0; i < a.EntryCount; i += 37 {
+			if err := a.ReadEntry(i, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, src.Entry(i)) {
+				t.Fatalf("%s entry %d mismatch", a.Name, i)
+			}
+		}
+	}
+}
+
+func TestCompressorsRegistry(t *testing.T) {
+	cs := Compressors()
+	if len(cs) != 6 {
+		t.Fatalf("want 6 compressors, got %d", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		names[c.Name()] = true
+	}
+	for _, want := range []string{"bpc", "bdi", "fpc", "fvc", "cpack", "zero"} {
+		if !names[want] {
+			t.Errorf("missing compressor %q", want)
+		}
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	// Every fast experiment renders without error through the public
+	// runner; the heavier ones are covered by their own tests/benches.
+	sc := QuickScale()
+	for _, name := range []string{"tab1", "tab2", "fig8", "fig13a", "fig13b", "fig13c"} {
+		var sb strings.Builder
+		if err := RunExperiment(&sb, name, sc); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("%s: empty output", name)
+		}
+	}
+	if err := RunExperiment(&strings.Builder{}, "no-such", sc); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestExperimentsListMatchesRunner(t *testing.T) {
+	if len(Experiments()) != 15 {
+		t.Errorf("want 15 experiments, got %d", len(Experiments()))
+	}
+}
+
+func TestCapacityStory(t *testing.T) {
+	// The paper's pitch: 24 GB of data on a 12 GB GPU at 2x. Shrunk: 2 MiB
+	// of data on a 1 MiB device.
+	dev := NewDevice(Config{DeviceBytes: 1 << 20})
+	a, err := dev.Malloc("big", 2<<20, Target2x)
+	if err != nil {
+		t.Fatalf("2x annotation should double capacity: %v", err)
+	}
+	entry := make([]byte, EntryBytes)
+	gen.Noisy64{NoiseBits: 8, HiStep: 1}.Fill(entry, gen.NewRNG(3, 1))
+	if err := a.WriteEntry(a.EntryCount-1, entry); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, EntryBytes)
+	if err := a.ReadEntry(a.EntryCount-1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(entry, got) {
+		t.Error("round-trip mismatch at the far end of the oversubscribed allocation")
+	}
+}

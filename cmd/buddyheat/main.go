@@ -1,0 +1,50 @@
+// Command buddyheat renders the Fig. 6 spatial compressibility heat-maps:
+// one row per 8 KB page, one column per 128 B memory-entry, intensity =
+// compressed sector count under BPC.
+//
+// Usage:
+//
+//	buddyheat -bench FF_HPGMG               # ASCII to stdout
+//	buddyheat -bench VGG16 -pgm > vgg.pgm   # grayscale image
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"buddy"
+	"buddy/internal/compress"
+	"buddy/internal/heatmap"
+	"buddy/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "", "Tab. 1 benchmark name")
+	snapshot := flag.Int("snapshot", 5, "which of the ten memory dumps to plot")
+	pgm := flag.Bool("pgm", false, "emit a plain PGM image instead of ASCII")
+	rows := flag.Int("rows", 48, "ASCII rows after downsampling (0 = all)")
+	scale := flag.Int("scale", 4096, "footprint divisor for synthesis")
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "buddyheat: -bench is required; available workloads:")
+		for _, b := range buddy.Workloads() {
+			fmt.Fprintf(os.Stderr, "  %s\n", b.Name)
+		}
+		os.Exit(2)
+	}
+	b, err := workloads.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "buddyheat:", err)
+		os.Exit(1)
+	}
+	s := workloads.GenerateSnapshot(b, *snapshot, *scale)
+	m := heatmap.Build(b.Name, s, compress.NewBPC())
+	if *pgm {
+		fmt.Print(m.PGM())
+		return
+	}
+	fmt.Print(m.ASCII(*rows))
+	fmt.Printf("homogeneity index: %.3f\n", m.HomogeneityIndex())
+}

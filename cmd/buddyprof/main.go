@@ -1,0 +1,52 @@
+// Command buddyprof runs the paper's profiling pass (§3.4) on one Tab. 1
+// workload and prints the per-allocation target compression ratios a user
+// (or DL framework) would use to annotate cudaMalloc calls.
+//
+// Usage:
+//
+//	buddyprof -bench VGG16
+//	buddyprof -bench 351.palm -threshold 0.4 -no-zeropage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"buddy"
+)
+
+func main() {
+	bench := flag.String("bench", "", "Tab. 1 benchmark name (e.g. 351.palm, VGG16)")
+	threshold := flag.Float64("threshold", 0.30, "Buddy Threshold (max overflow fraction)")
+	noZeroPage := flag.Bool("no-zeropage", false, "disable the 16x mostly-zero optimization")
+	scale := flag.Int("scale", 1024, "footprint divisor for synthesis")
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "buddyprof: -bench is required; available workloads:")
+		for _, b := range buddy.Workloads() {
+			fmt.Fprintf(os.Stderr, "  %s\n", b.Name)
+		}
+		os.Exit(2)
+	}
+	b, err := buddy.WorkloadByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "buddyprof:", err)
+		os.Exit(1)
+	}
+	snaps := buddy.GenerateRun(b, *scale)
+	opt := buddy.FinalDesign()
+	opt.Threshold = *threshold
+	opt.ZeroPage = !*noZeroPage
+	res := buddy.Profile(snaps, buddy.NewBPC(), opt)
+
+	fmt.Printf("%s: profiling over %d snapshots (Buddy Threshold %.0f%%)\n",
+		b.Name, len(snaps), *threshold*100)
+	for _, p := range res.Allocations {
+		fmt.Printf("  %-18s target %-6s overflow %5.1f%%  sector histogram %v\n",
+			p.Name, p.Target, p.OverflowFrac*100, p.Hist)
+	}
+	fmt.Printf("compression %.2fx, expected buddy-access fraction %.2f%%, best achievable %.2fx\n",
+		res.CompressionRatio, res.BuddyAccessFraction*100, res.BestAchievable)
+}

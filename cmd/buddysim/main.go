@@ -1,0 +1,45 @@
+// Command buddysim regenerates the tables and figures of the Buddy
+// Compression paper (ISCA 2020) from the reproduction library.
+//
+// Usage:
+//
+//	buddysim -exp fig7            # one experiment at reference fidelity
+//	buddysim -exp all -quick      # every experiment, smoke fidelity
+//	buddysim -list                # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"buddy"
+)
+
+func main() {
+	expName := flag.String("exp", "", "experiment id (tab1, tab2, fig3..fig13d, all)")
+	quick := flag.Bool("quick", false, "run at smoke fidelity (seconds instead of minutes)")
+	list := flag.Bool("list", false, "list experiment ids")
+	scale := flag.Int("scale", 0, "override workload footprint divisor")
+	flag.Parse()
+
+	if *list || *expName == "" {
+		fmt.Println("experiments:", strings.Join(buddy.Experiments(), " "))
+		if *expName == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	sc := buddy.DefaultScale()
+	if *quick {
+		sc = buddy.QuickScale()
+	}
+	if *scale > 0 {
+		sc.Workload = *scale
+	}
+	if err := buddy.RunExperiment(os.Stdout, *expName, sc); err != nil {
+		fmt.Fprintln(os.Stderr, "buddysim:", err)
+		os.Exit(1)
+	}
+}

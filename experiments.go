@@ -1,0 +1,293 @@
+package buddy
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"buddy/internal/exp"
+	"buddy/internal/gpusim"
+)
+
+// ExperimentScale controls workload synthesis size for the experiment
+// runners (footprint divisor; statistics are per-entry and scale-free).
+type ExperimentScale struct {
+	// Workload is the footprint divisor for data synthesis (default 1024).
+	Workload int
+	// Sim scales the performance simulator's trace length (1.0 = the full
+	// Tab. 2 run length).
+	Sim float64
+}
+
+// DefaultScale runs at the repository's reference fidelity.
+func DefaultScale() ExperimentScale { return ExperimentScale{Workload: 1024, Sim: 1.0} }
+
+// QuickScale runs every experiment in seconds, for CI-style smoke runs.
+func QuickScale() ExperimentScale { return ExperimentScale{Workload: 16384, Sim: 0.2} }
+
+// Experiments lists the regenerable tables and figures.
+func Experiments() []string {
+	return []string{
+		"tab1", "tab2", "fig3", "fig5b", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig13d",
+	}
+}
+
+// RunExperiment regenerates one table or figure and writes the paper-style
+// rows/series to w.
+func RunExperiment(w io.Writer, name string, sc ExperimentScale) error {
+	if sc.Workload == 0 {
+		sc = DefaultScale()
+	}
+	switch strings.ToLower(name) {
+	case "tab1":
+		return runTab1(w)
+	case "tab2":
+		_, err := fmt.Fprint(w, exp.Tab2(exp.ScaledSimConfig(sc.Sim)))
+		return err
+	case "fig3":
+		return runFig3(w, sc)
+	case "fig5b":
+		return runFig5b(w)
+	case "fig6":
+		return runFig6(w, sc)
+	case "fig7":
+		return runFig7(w, sc)
+	case "fig8":
+		return runFig8(w, sc)
+	case "fig9":
+		return runFig9(w, sc)
+	case "fig10":
+		return runFig10(w, sc)
+	case "fig11":
+		return runFig11(w, sc)
+	case "fig12":
+		return runFig12(w)
+	case "fig13a":
+		return runFig13a(w)
+	case "fig13b":
+		return runFig13b(w)
+	case "fig13c":
+		return runFig13c(w)
+	case "fig13d":
+		return runFig13d(w)
+	case "all":
+		for _, n := range Experiments() {
+			fmt.Fprintf(w, "==== %s ====\n", n)
+			if err := RunExperiment(w, n, sc); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("buddy: unknown experiment %q (have %s)", name, strings.Join(Experiments(), ", "))
+	}
+}
+
+func runTab1(w io.Writer) error {
+	rows := [][]string{}
+	for _, r := range exp.Table1() {
+		rows = append(rows, []string{r.Name, r.Suite.String(),
+			fmt.Sprintf("%.2f GB", float64(r.Footprint)/(1<<30)),
+			fmt.Sprintf("%d", r.Regions)})
+	}
+	_, err := fmt.Fprint(w, exp.FormatTable([]string{"Benchmark", "Suite", "Footprint", "Regions"}, rows))
+	return err
+}
+
+func runFig3(w io.Writer, sc ExperimentScale) error {
+	res := exp.Fig3(sc.Workload)
+	rows := [][]string{}
+	for _, r := range res.Rows {
+		series := make([]string, len(r.Ratios))
+		for i, v := range r.Ratios {
+			series[i] = fmt.Sprintf("%.2f", v)
+		}
+		rows = append(rows, []string{r.Name, r.Suite.String(),
+			fmt.Sprintf("%.2f", r.Mean), strings.Join(series, " ")})
+	}
+	fmt.Fprint(w, exp.FormatTable([]string{"Benchmark", "Suite", "Mean", "Snapshots 0..9"}, rows))
+	_, err := fmt.Fprintf(w, "GMEAN_HPC %.2f (paper 2.51)   GMEAN_DL %.2f (paper 1.85)\n",
+		res.GMeanHPC, res.GMeanDL)
+	return err
+}
+
+func runFig5b(w io.Writer) error {
+	rows := exp.Fig5b(nil)
+	table := [][]string{}
+	for _, r := range rows {
+		cells := []string{r.Name}
+		for _, hr := range r.HitRates {
+			cells = append(cells, fmt.Sprintf("%.3f", hr))
+		}
+		table = append(table, cells)
+	}
+	header := []string{"Benchmark"}
+	for _, kb := range rows[0].SizesKB {
+		header = append(header, fmt.Sprintf("%dKB", kb))
+	}
+	_, err := fmt.Fprint(w, exp.FormatTable(header, table))
+	return err
+}
+
+func runFig6(w io.Writer, sc ExperimentScale) error {
+	for _, m := range exp.Fig6(sc.Workload) {
+		if _, err := fmt.Fprintln(w, m.ASCII(24)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig7(w io.Writer, sc ExperimentScale) error {
+	res := exp.Fig7(sc.Workload)
+	rows := [][]string{}
+	for _, r := range res.Rows {
+		rows = append(rows, []string{r.Name, r.Suite.String(),
+			fmt.Sprintf("%.2fx/%4.1f%%", r.Naive.Ratio, r.Naive.BuddyFrac*100),
+			fmt.Sprintf("%.2fx/%4.1f%%", r.PerAlloc.Ratio, r.PerAlloc.BuddyFrac*100),
+			fmt.Sprintf("%.2fx/%4.1f%%", r.Final.Ratio, r.Final.BuddyFrac*100)})
+	}
+	fmt.Fprint(w, exp.FormatTable(
+		[]string{"Benchmark", "Suite", "Naive", "Per-Allocation", "Final (zero-page)"}, rows))
+	_, err := fmt.Fprintf(w,
+		"GMEAN  naive HPC %.2fx/%.1f%% DL %.2fx/%.1f%% | final HPC %.2fx/%.2f%% DL %.2fx/%.1f%% (paper: 1.57/8 1.18/32 | 1.9/0.08 1.5/4)\n",
+		res.NaiveHPC.Ratio, res.NaiveHPC.BuddyFrac*100, res.NaiveDL.Ratio, res.NaiveDL.BuddyFrac*100,
+		res.FinalHPC.Ratio, res.FinalHPC.BuddyFrac*100, res.FinalDL.Ratio, res.FinalDL.BuddyFrac*100)
+	return err
+}
+
+func runFig8(w io.Writer, sc ExperimentScale) error {
+	for _, r := range exp.Fig8(sc.Workload) {
+		fmt.Fprintf(w, "%s (ratio %.2fx):", r.Name, r.Points[0].Ratio)
+		for _, p := range r.Points {
+			fmt.Fprintf(w, " %.3f", p.BuddyFrac)
+		}
+		fmt.Fprintln(w, "   (buddy-access fraction per snapshot)")
+	}
+	return nil
+}
+
+func runFig9(w io.Writer, sc ExperimentScale) error {
+	rows := exp.Fig9(sc.Workload, nil)
+	table := [][]string{}
+	for _, r := range rows {
+		cells := []string{r.Name}
+		for _, p := range r.Points {
+			cells = append(cells, fmt.Sprintf("%.2fx/%4.1f%%", p.Ratio, p.BuddyFrac*100))
+		}
+		cells = append(cells, fmt.Sprintf("%.2fx", r.Best))
+		table = append(table, cells)
+	}
+	header := []string{"Benchmark"}
+	for _, th := range rows[0].Thresholds {
+		header = append(header, fmt.Sprintf("BT=%.0f%%", th*100))
+	}
+	header = append(header, "Best")
+	_, err := fmt.Fprint(w, exp.FormatTable(header, table))
+	return err
+}
+
+func runFig10(w io.Writer, sc ExperimentScale) error {
+	res := exp.Fig10(sc.Workload, exp.ScaledSimConfig(sc.Sim))
+	fmt.Fprintf(w, "correlation(log cycles, sim vs reference) = %.3f (paper 0.989 vs silicon)\n",
+		res.CorrelationLog)
+	fmt.Fprintf(w, "fast mode %.3fs vs detailed mode %.3fs: %.1fx faster (cycle agreement %.2f)\n",
+		res.FastWallSeconds, res.DetailedWallSeconds, res.SpeedupVsDetailed, res.DetailedAgreement)
+	points := res.Points
+	sort.Slice(points, func(i, j int) bool { return points[i].SimCycles < points[j].SimCycles })
+	for _, p := range points[:minInt(6, len(points))] {
+		fmt.Fprintf(w, "  %-14s ops=%-5d sim=%.3e ref=%.3e\n", p.Name, p.OpsPerWarp, p.SimCycles, p.RefCycles)
+	}
+	return nil
+}
+
+func runFig11(w io.Writer, sc ExperimentScale) error {
+	res := exp.Fig11(sc.Workload, exp.ScaledSimConfig(sc.Sim), nil)
+	table := [][]string{}
+	for _, r := range res.Rows {
+		cells := []string{r.Name, r.Suite.String(), fmt.Sprintf("%.3f", r.BWOnly)}
+		for _, b := range r.Buddy {
+			cells = append(cells, fmt.Sprintf("%.3f", b))
+		}
+		cells = append(cells, fmt.Sprintf("%.1f%%", r.BuddyAccessShare*100))
+		table = append(table, cells)
+	}
+	header := []string{"Benchmark", "Suite", "BW-only"}
+	for _, l := range res.Links {
+		header = append(header, fmt.Sprintf("Buddy@%.0f", l))
+	}
+	header = append(header, "BuddyShare")
+	fmt.Fprint(w, exp.FormatTable(header, table))
+	_, err := fmt.Fprintf(w, "GMEAN bw-only %.3f (paper 1.055) | buddy@150 HPC %.3f DL %.3f (paper 0.99 / 0.978)\n",
+		res.GMeanBWOnly, res.GMeanHPC150, res.GMeanDL150)
+	return err
+}
+
+func runFig12(w io.Writer) error {
+	for _, r := range exp.Fig12() {
+		fmt.Fprintf(w, "%-10s pinned=%.1fx  um:", r.Name, r.Pinned)
+		for _, p := range r.Points {
+			fmt.Fprintf(w, " %.0f%%=%.1fx", p.Oversubscription*100, p.RelativeRuntime)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runFig13a(w io.Writer) error {
+	for _, r := range exp.Fig13a() {
+		fmt.Fprintf(w, "%-14s", r.Name)
+		for _, p := range r.Points {
+			fmt.Fprintf(w, " b%d=%.1fGB", p.Batch, float64(p.Footprint)/(1<<30))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runFig13b(w io.Writer) error {
+	for _, r := range exp.Fig13b() {
+		fmt.Fprintf(w, "%-14s", r.Name)
+		for _, p := range r.Points {
+			fmt.Fprintf(w, " b%d=%.2fx", p.Batch, p.Speedup)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runFig13c(w io.Writer) error {
+	res := exp.Fig13c()
+	rows := [][]string{}
+	for _, r := range res.Rows {
+		rows = append(rows, []string{r.Name, fmt.Sprintf("%d", r.BaseBatch),
+			fmt.Sprintf("%d", r.CompressedBatch), fmt.Sprintf("%.2fx", r.Speedup)})
+	}
+	fmt.Fprint(w, exp.FormatTable([]string{"Network", "Batch@12GB", "Batch w/ Buddy", "Speedup"}, rows))
+	_, err := fmt.Fprintf(w, "mean speedup %.2fx (paper ~1.14x; VGG16/BigLSTM highest)\n", res.Mean)
+	return err
+}
+
+func runFig13d(w io.Writer) error {
+	for _, r := range exp.Fig13d(exp.DefaultFig13dConfig()) {
+		fmt.Fprintf(w, "batch %3d: final accuracy %.3f (jitter %.4f)\n", r.Batch, r.Final, r.Jitter)
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SimConfig exposes the Tab. 2 performance-simulator configuration for
+// advanced users of the timing model.
+type SimConfig = gpusim.Config
+
+// DefaultSimConfig returns Tab. 2.
+func DefaultSimConfig() SimConfig { return gpusim.DefaultConfig() }

@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(1024, 4, 32) // 8 sets
+	if c.Access(0) {
+		t.Fatal("cold access should miss")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access should hit")
+	}
+	if !c.Access(31) {
+		t.Fatal("same-line access should hit")
+	}
+	if c.Access(32) {
+		t.Fatal("next line should miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2", c.Hits(), c.Misses())
+	}
+	if got := c.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %.2f, want 0.5", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 1 set of 32 B lines: capacity 64 B.
+	c := New(64, 2, 32)
+	c.Access(0)  // A
+	c.Access(32) // B
+	c.Access(0)  // touch A: B is now LRU
+	c.Access(64) // C evicts B
+	if !c.Access(0) {
+		t.Error("A should still be resident")
+	}
+	if c.Access(32) {
+		t.Error("B should have been evicted")
+	}
+}
+
+func TestProbeAndInvalidate(t *testing.T) {
+	c := New(256, 2, 32)
+	c.Access(100)
+	if !c.Probe(100) {
+		t.Error("Probe should find resident line")
+	}
+	h, m := c.Hits(), c.Misses()
+	c.Probe(100)
+	if c.Hits() != h || c.Misses() != m {
+		t.Error("Probe must not update statistics")
+	}
+	c.Invalidate(100)
+	if c.Probe(100) {
+		t.Error("line should be gone after Invalidate")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(256, 2, 32)
+	c.Access(0)
+	c.Access(0)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("Reset should clear stats")
+	}
+	if c.Access(0) {
+		t.Error("Reset should clear contents")
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 4, 32) },
+		func() { New(100, 3, 32) }, // 100/32=3 lines, not divisible by 3? it is; use truly invalid:
+	} {
+		func() {
+			defer func() { _ = recover() }()
+			f()
+		}()
+	}
+	// Explicit invalid: fewer lines than ways.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for capacity < one set")
+		}
+	}()
+	New(32, 4, 32)
+}
+
+func TestWorkingSetBehaviour(t *testing.T) {
+	// A working set within capacity must converge to ~100% hits; one far
+	// beyond capacity must mostly miss under LRU with a cyclic scan.
+	c := New(4096, 4, 32) // 128 lines
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < 64*32; a += 32 {
+			c.Access(a)
+		}
+	}
+	if c.HitRate() < 0.70 {
+		t.Errorf("small working set hit rate %.2f, want > 0.70", c.HitRate())
+	}
+	c.Reset()
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < 1024*32; a += 32 {
+			c.Access(a)
+		}
+	}
+	if c.HitRate() > 0.10 {
+		t.Errorf("thrashing scan hit rate %.2f, want ~0", c.HitRate())
+	}
+}
+
+func TestQuickHitAfterAccess(t *testing.T) {
+	// Property: immediately re-accessing any address hits.
+	c := New(8192, 4, 32)
+	f := func(addr uint64) bool {
+		addr %= 1 << 40
+		c.Access(addr)
+		return c.Access(addr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

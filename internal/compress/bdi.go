@@ -1,0 +1,239 @@
+package compress
+
+import "encoding/binary"
+
+// BDI implements Base-Delta-Immediate compression (Pekhimenko et al., PACT
+// 2012), one of the algorithms the paper compared before selecting BPC
+// (§2.4). The 128 B entry is encoded as one arbitrary base plus narrow
+// per-element deltas, with a second implicit base of zero ("immediate"): a
+// per-element mask bit selects which base each delta is relative to.
+//
+// Encodings tried, smallest first (sizes include the 4-bit encoding ID):
+//
+//	id  base  delta  elems  payload bytes (base + mask + deltas)
+//	 0  zeros             -> 0
+//	 1  rep8              -> 8   (one repeated 64-bit value)
+//	 2  8B    1B     16   -> 8 + 2 + 16 = 26
+//	 3  4B    1B     32   -> 4 + 4 + 32 = 40
+//	 4  8B    2B     16   -> 8 + 2 + 32 = 42
+//	 5  4B    2B     32   -> 4 + 4 + 64 = 72
+//	 6  2B    1B     64   -> 2 + 8 + 64 = 74
+//	 7  8B    4B     16   -> 8 + 2 + 64 = 74
+//	15  raw               -> 128
+type BDI struct{}
+
+// NewBDI returns the Base-Delta-Immediate codec.
+func NewBDI() BDI { return BDI{} }
+
+// Name implements Compressor.
+func (BDI) Name() string { return "bdi" }
+
+type bdiEncoding struct {
+	id        uint8
+	baseBytes int
+	deltaBits int
+}
+
+// Ordered by ascending compressed size for 128 B entries.
+var bdiEncodings = []bdiEncoding{
+	{2, 8, 8},
+	{3, 4, 8},
+	{4, 8, 16},
+	{5, 4, 16},
+	{6, 2, 8},
+	{7, 8, 32},
+}
+
+func bdiPayloadBits(e bdiEncoding) int {
+	elems := EntryBytes / e.baseBytes
+	return e.baseBytes*8 + elems + elems*e.deltaBits
+}
+
+func bdiElems(entry []byte, baseBytes int) []uint64 {
+	n := EntryBytes / baseBytes
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		switch baseBytes {
+		case 2:
+			out[i] = uint64(binary.LittleEndian.Uint16(entry[i*2:]))
+		case 4:
+			out[i] = uint64(binary.LittleEndian.Uint32(entry[i*4:]))
+		default:
+			out[i] = binary.LittleEndian.Uint64(entry[i*8:])
+		}
+	}
+	return out
+}
+
+func signedFits(v uint64, width, deltaBits int) bool {
+	sv := signExtend(v, width*8)
+	lim := int64(1) << uint(deltaBits-1)
+	return sv >= -lim && sv < lim
+}
+
+func signExtend(v uint64, bits int) int64 {
+	shift := 64 - uint(bits)
+	return int64(v<<shift) >> shift
+}
+
+// bdiTry reports whether encoding e can represent entry and, if so, the base
+// and per-element (useZeroBase, delta) assignments.
+func bdiTry(entry []byte, e bdiEncoding) (base uint64, mask []bool, deltas []uint64, ok bool) {
+	elems := bdiElems(entry, e.baseBytes)
+	mask = make([]bool, len(elems))
+	deltas = make([]uint64, len(elems))
+	haveBase := false
+	for i, v := range elems {
+		if signedFits(v, e.baseBytes, e.deltaBits) {
+			mask[i] = true // immediate: relative to zero base
+			deltas[i] = v
+			continue
+		}
+		if !haveBase {
+			base = v
+			haveBase = true
+		}
+		d := v - base
+		if !signedFits(d, e.baseBytes, e.deltaBits) {
+			return 0, nil, nil, false
+		}
+		deltas[i] = d
+	}
+	return base, mask, deltas, true
+}
+
+func bdiAllZero(entry []byte) bool {
+	for _, b := range entry {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func bdiRepeated8(entry []byte) (uint64, bool) {
+	v := binary.LittleEndian.Uint64(entry)
+	for i := 8; i < EntryBytes; i += 8 {
+		if binary.LittleEndian.Uint64(entry[i:]) != v {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// CompressedBits implements Compressor.
+func (BDI) CompressedBits(entry []byte) int {
+	checkEntry(entry)
+	if bdiAllZero(entry) {
+		return 4
+	}
+	if _, ok := bdiRepeated8(entry); ok {
+		return 4 + 64
+	}
+	for _, e := range bdiEncodings {
+		if _, _, _, ok := bdiTry(entry, e); ok {
+			return 4 + bdiPayloadBits(e)
+		}
+	}
+	return EntryBytes * 8
+}
+
+// Compress implements Compressor.
+func (BDI) Compress(entry []byte) []byte {
+	checkEntry(entry)
+	w := NewBitWriter(EntryBytes*8 + 8)
+	switch {
+	case bdiAllZero(entry):
+		w.WriteBits(0, 4)
+	default:
+		if v, ok := bdiRepeated8(entry); ok {
+			w.WriteBits(1, 4)
+			w.WriteBits(v, 64)
+			break
+		}
+		done := false
+		for _, e := range bdiEncodings {
+			base, mask, deltas, ok := bdiTry(entry, e)
+			if !ok {
+				continue
+			}
+			w.WriteBits(uint64(e.id), 4)
+			w.WriteBits(base, e.baseBytes*8)
+			for _, m := range mask {
+				if m {
+					w.WriteBits(1, 1)
+				} else {
+					w.WriteBits(0, 1)
+				}
+			}
+			for _, d := range deltas {
+				w.WriteBits(d, e.deltaBits)
+			}
+			done = true
+			break
+		}
+		if !done {
+			w.WriteBits(15, 4)
+			for _, b := range entry {
+				w.WriteBits(uint64(b), 8)
+			}
+		}
+	}
+	return w.Bytes()
+}
+
+// Decompress implements Compressor.
+func (BDI) Decompress(comp []byte) ([]byte, error) {
+	r := NewBitReader(comp)
+	out := make([]byte, EntryBytes)
+	id := uint8(r.ReadBits(4))
+	switch id {
+	case 0:
+		return out, nil
+	case 1:
+		v := r.ReadBits(64)
+		for i := 0; i < EntryBytes; i += 8 {
+			binary.LittleEndian.PutUint64(out[i:], v)
+		}
+	case 15:
+		for i := range out {
+			out[i] = byte(r.ReadBits(8))
+		}
+	default:
+		var enc *bdiEncoding
+		for i := range bdiEncodings {
+			if bdiEncodings[i].id == id {
+				enc = &bdiEncodings[i]
+				break
+			}
+		}
+		if enc == nil {
+			return nil, ErrCorrupt
+		}
+		elems := EntryBytes / enc.baseBytes
+		base := r.ReadBits(enc.baseBytes * 8)
+		mask := make([]bool, elems)
+		for i := range mask {
+			mask[i] = r.ReadBits(1) == 1
+		}
+		for i := 0; i < elems; i++ {
+			d := uint64(signExtend(r.ReadBits(enc.deltaBits), enc.deltaBits))
+			v := d
+			if !mask[i] {
+				v = base + d
+			}
+			switch enc.baseBytes {
+			case 2:
+				binary.LittleEndian.PutUint16(out[i*2:], uint16(v))
+			case 4:
+				binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+			default:
+				binary.LittleEndian.PutUint64(out[i*8:], v)
+			}
+		}
+	}
+	if r.Overrun() {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

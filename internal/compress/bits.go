@@ -1,0 +1,66 @@
+package compress
+
+// BitWriter accumulates a big-endian bit stream. Compressors use it to
+// produce the exact encoded bit layout, so compressed sizes are bit-accurate
+// rather than estimated.
+type BitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+// NewBitWriter returns a writer with capacity pre-allocated for n bits.
+func NewBitWriter(n int) *BitWriter {
+	return &BitWriter{buf: make([]byte, 0, (n+7)/8)}
+}
+
+// WriteBits appends the low n bits of v, most-significant bit first.
+func (w *BitWriter) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		bit := byte(v>>uint(i)) & 1
+		byteIdx := w.nbit >> 3
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit != 0 {
+			w.buf[byteIdx] |= 1 << uint(7-w.nbit&7)
+		}
+		w.nbit++
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *BitWriter) Len() int { return w.nbit }
+
+// Bytes returns the accumulated stream, zero-padded to a byte boundary.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader consumes a big-endian bit stream produced by BitWriter.
+type BitReader struct {
+	buf []byte
+	pos int
+}
+
+// NewBitReader wraps buf for reading.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBits reads n bits and returns them right-aligned. Reading past the end
+// of the buffer yields zero bits, which callers treat as a framing error via
+// Overrun.
+func (r *BitReader) ReadBits(n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v <<= 1
+		byteIdx := r.pos >> 3
+		if byteIdx < len(r.buf) {
+			v |= uint64(r.buf[byteIdx]>>uint(7-r.pos&7)) & 1
+		}
+		r.pos++
+	}
+	return v
+}
+
+// Pos returns the number of bits consumed.
+func (r *BitReader) Pos() int { return r.pos }
+
+// Overrun reports whether more bits were read than the buffer holds.
+func (r *BitReader) Overrun() bool { return r.pos > len(r.buf)*8 }

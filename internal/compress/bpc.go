@@ -1,0 +1,253 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// BPC implements Bit-Plane Compression (Kim, Sullivan, Choukse, Erez — ISCA
+// 2016), the algorithm Buddy Compression selects for its high ratios on the
+// homogeneously-typed data that dominates GPU memory (§2.4, §3.1).
+//
+// A 128 B memory-entry is treated as 32 little-endian 32-bit words. The
+// first word is the base symbol; the 31 deltas between consecutive words
+// (33-bit signed values) are transposed into 33 bit-planes of 31 bits each
+// (DBP), adjacent planes are XORed (DBX), and each DBX plane is run/pattern
+// encoded with the prefix-free code below:
+//
+//	pattern                         code                       bits
+//	all-zero DBX, run of 2..33      01 + 5-bit (run-2)            7
+//	all-zero DBX, run of 1          001                           3
+//	all-ones DBX                    00000                         5
+//	DBX != 0 but DBP == 0           00001                         5
+//	two consecutive ones            00010 + 5-bit position       10
+//	single one                      00011 + 5-bit position       10
+//	uncompressed plane              1 + 31 raw bits              32
+//
+// The base symbol uses its own small code (zero / 4-, 8-, 16-bit
+// sign-extended / raw). If the encoded stream would reach or exceed the raw
+// 1024 bits, the entry is stored uncompressed; the compressed/raw flag is
+// carried by the per-entry metadata in hardware, so CompressedBits reports
+// min(encoded, 1024) and the 1-bit stream framing used by Compress is an
+// implementation detail of this software model.
+type BPC struct{}
+
+// NewBPC returns the Bit-Plane Compression codec.
+func NewBPC() BPC { return BPC{} }
+
+// Name implements Compressor.
+func (BPC) Name() string { return "bpc" }
+
+const (
+	bpcWords   = EntryBytes / 4 // 32 words per entry
+	bpcDeltas  = bpcWords - 1   // 31 deltas
+	bpcPlanes  = 33             // 33-bit deltas -> 33 bit-planes
+	bpcRawBits = EntryBytes * 8
+	allOnes31  = (uint32(1) << bpcDeltas) - 1
+)
+
+// bpcPlanesOf computes the base word and the 33 delta-bit-planes of entry.
+func bpcPlanesOf(entry []byte) (base uint32, dbp [bpcPlanes + 1]uint32) {
+	var words [bpcWords]uint32
+	for i := 0; i < bpcWords; i++ {
+		words[i] = binary.LittleEndian.Uint32(entry[i*4:])
+	}
+	base = words[0]
+	var deltas [bpcDeltas]uint64
+	for i := 0; i < bpcDeltas; i++ {
+		d := int64(words[i+1]) - int64(words[i])
+		deltas[i] = uint64(d) & ((1 << bpcPlanes) - 1) // 33-bit two's complement
+	}
+	for b := 0; b < bpcPlanes; b++ {
+		var plane uint32
+		for i := 0; i < bpcDeltas; i++ {
+			plane |= uint32((deltas[i]>>uint(b))&1) << uint(i)
+		}
+		dbp[b] = plane
+	}
+	// dbp[33] stays 0: the sentinel that makes DBX[32] == DBP[32].
+	return base, dbp
+}
+
+func bpcWriteBase(w *BitWriter, base uint32) {
+	v := int32(base)
+	switch {
+	case v == 0:
+		w.WriteBits(0b000, 3)
+	case v >= -8 && v < 8:
+		w.WriteBits(0b001, 3)
+		w.WriteBits(uint64(base)&0xF, 4)
+	case v >= -128 && v < 128:
+		w.WriteBits(0b010, 3)
+		w.WriteBits(uint64(base)&0xFF, 8)
+	case v >= -32768 && v < 32768:
+		w.WriteBits(0b011, 3)
+		w.WriteBits(uint64(base)&0xFFFF, 16)
+	default:
+		w.WriteBits(0b1, 1)
+		w.WriteBits(uint64(base), 32)
+	}
+}
+
+func bpcReadBase(r *BitReader) uint32 {
+	if r.ReadBits(1) == 1 {
+		return uint32(r.ReadBits(32))
+	}
+	switch r.ReadBits(2) {
+	case 0b00:
+		return 0
+	case 0b01:
+		return uint32(int64(r.ReadBits(4)) << 60 >> 60) // sign-extend 4
+	case 0b10:
+		return uint32(int32(int8(r.ReadBits(8))))
+	default:
+		return uint32(int32(int16(r.ReadBits(16))))
+	}
+}
+
+// bpcEncode writes the full encoded stream for entry and returns the writer.
+func bpcEncode(entry []byte) *BitWriter {
+	base, dbp := bpcPlanesOf(entry)
+	w := NewBitWriter(bpcRawBits + 64)
+	bpcWriteBase(w, base)
+	b := bpcPlanes - 1 // encode MSB plane first
+	for b >= 0 {
+		dbx := dbp[b] ^ dbp[b+1]
+		if dbx == 0 {
+			run := 1
+			for b-run >= 0 && dbp[b-run]^dbp[b-run+1] == 0 && run < 33 {
+				run++
+			}
+			if run == 1 {
+				w.WriteBits(0b001, 3)
+			} else {
+				w.WriteBits(0b01, 2)
+				w.WriteBits(uint64(run-2), 5)
+			}
+			b -= run
+			continue
+		}
+		tz := bits.TrailingZeros32(dbx)
+		switch {
+		case dbx == allOnes31:
+			w.WriteBits(0b00000, 5)
+		case dbp[b] == 0:
+			w.WriteBits(0b00001, 5)
+		case dbx>>uint(tz) == 3:
+			w.WriteBits(0b00010, 5)
+			w.WriteBits(uint64(tz), 5)
+		case dbx>>uint(tz) == 1:
+			w.WriteBits(0b00011, 5)
+			w.WriteBits(uint64(tz), 5)
+		default:
+			w.WriteBits(0b1, 1)
+			w.WriteBits(uint64(dbx), bpcDeltas)
+		}
+		b--
+	}
+	return w
+}
+
+// CompressedBits implements Compressor.
+func (BPC) CompressedBits(entry []byte) int {
+	checkEntry(entry)
+	n := bpcEncode(entry).Len()
+	if n >= bpcRawBits {
+		return bpcRawBits
+	}
+	return n
+}
+
+// Compress implements Compressor. The first bit is a framing flag: 0 means
+// BPC stream follows, 1 means the raw 128 bytes follow.
+func (BPC) Compress(entry []byte) []byte {
+	checkEntry(entry)
+	enc := bpcEncode(entry)
+	if enc.Len() >= bpcRawBits {
+		out := NewBitWriter(1 + bpcRawBits)
+		out.WriteBits(1, 1)
+		for _, by := range entry {
+			out.WriteBits(uint64(by), 8)
+		}
+		return out.Bytes()
+	}
+	out := NewBitWriter(1 + enc.Len())
+	out.WriteBits(0, 1)
+	// Re-encode through the framed writer to keep bit alignment exact.
+	src := NewBitReader(enc.Bytes())
+	for i := 0; i < enc.Len(); i++ {
+		out.WriteBits(src.ReadBits(1), 1)
+	}
+	return out.Bytes()
+}
+
+// Decompress implements Compressor.
+func (BPC) Decompress(comp []byte) ([]byte, error) {
+	r := NewBitReader(comp)
+	out := make([]byte, EntryBytes)
+	if r.ReadBits(1) == 1 {
+		for i := range out {
+			out[i] = byte(r.ReadBits(8))
+		}
+		if r.Overrun() {
+			return nil, ErrCorrupt
+		}
+		return out, nil
+	}
+	base := bpcReadBase(r)
+	var dbp [bpcPlanes + 1]uint32
+	b := bpcPlanes - 1
+	for b >= 0 {
+		if r.ReadBits(1) == 1 { // uncompressed plane
+			dbx := uint32(r.ReadBits(bpcDeltas))
+			dbp[b] = dbx ^ dbp[b+1]
+			b--
+			continue
+		}
+		if r.ReadBits(1) == 1 { // 01: zero run 2..33
+			run := int(r.ReadBits(5)) + 2
+			for k := 0; k < run && b >= 0; k++ {
+				dbp[b] = dbp[b+1]
+				b--
+			}
+			continue
+		}
+		if r.ReadBits(1) == 1 { // 001: single zero plane
+			dbp[b] = dbp[b+1]
+			b--
+			continue
+		}
+		switch r.ReadBits(2) {
+		case 0b00: // all ones
+			dbp[b] = allOnes31 ^ dbp[b+1]
+		case 0b01: // DBP == 0
+			dbp[b] = 0
+		case 0b10: // two consecutive ones
+			pos := uint(r.ReadBits(5))
+			dbp[b] = (uint32(3) << pos & allOnes31) ^ dbp[b+1]
+		default: // single one
+			pos := uint(r.ReadBits(5))
+			dbp[b] = (uint32(1) << pos & allOnes31) ^ dbp[b+1]
+		}
+		b--
+	}
+	if r.Overrun() {
+		return nil, ErrCorrupt
+	}
+	words := [bpcWords]uint32{0: base}
+	for i := 0; i < bpcDeltas; i++ {
+		var d uint64
+		for pb := 0; pb < bpcPlanes; pb++ {
+			d |= uint64((dbp[pb]>>uint(i))&1) << uint(pb)
+		}
+		sd := int64(d)
+		if d&(1<<(bpcPlanes-1)) != 0 {
+			sd -= 1 << bpcPlanes
+		}
+		words[i+1] = uint32(int64(words[i]) + sd)
+	}
+	for i, wv := range words {
+		binary.LittleEndian.PutUint32(out[i*4:], wv)
+	}
+	return out, nil
+}

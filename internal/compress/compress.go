@@ -1,0 +1,117 @@
+// Package compress implements the hardware memory-compression algorithms the
+// paper evaluates (§2.4): Bit-Plane Compression (BPC, the chosen algorithm),
+// plus the baselines it was compared against — Base-Delta-Immediate (BDI),
+// Frequent Pattern Compression (FPC), C-PACK, and trivial zero compression.
+//
+// All compressors operate on one 128-byte memory-entry, the compression
+// granularity Buddy Compression adopts (one GPU cache block). Compression is
+// bit-exact: Compress produces the real encoded bit stream and Decompress
+// restores the original 128 bytes, so the rest of the system can store and
+// round-trip genuine compressed bytes through the modeled memories.
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EntryBytes is the paper's compression granularity: a 128 B memory-entry,
+// matching the GPU cache-block size (Tab. 2: 128 B lines).
+const EntryBytes = 128
+
+// SectorBytes is the GPU memory access granularity (GDDR/HBM2 32 B sectors,
+// §3.2); Buddy Compression stripes entries across sectors of this size.
+const SectorBytes = 32
+
+// SectorsPerEntry is EntryBytes / SectorBytes = 4.
+const SectorsPerEntry = EntryBytes / SectorBytes
+
+// ErrCorrupt is returned by Decompress when the encoded stream is malformed.
+var ErrCorrupt = errors.New("compress: corrupt stream")
+
+// A Compressor compresses and decompresses single 128 B memory-entries.
+type Compressor interface {
+	// Name identifies the algorithm (e.g. "bpc").
+	Name() string
+	// CompressedBits returns the exact size of the encoded entry in bits.
+	// entry must be EntryBytes long.
+	CompressedBits(entry []byte) int
+	// Compress returns the encoded representation of entry. The result is
+	// zero-padded to a whole number of bytes.
+	Compress(entry []byte) []byte
+	// Decompress decodes a stream produced by Compress back into 128 bytes.
+	Decompress(comp []byte) ([]byte, error)
+}
+
+// OptimisticSizes are the eight compressed memory-entry sizes assumed by the
+// paper's optimistic capacity study (Fig. 3): 0, 8, 16, 32, 64, 80, 96 and
+// 128 bytes.
+var OptimisticSizes = []int{0, 8, 16, 32, 64, 80, 96, 128}
+
+// SectorSizes are the sizes available to the Buddy design proper: whole 32 B
+// sectors (§3.2, Fig. 4). An entry stored in s sectors occupies 32*s bytes.
+var SectorSizes = []int{32, 64, 96, 128}
+
+// RoundToClass rounds a compressed byte size up to the smallest class in
+// classes that can hold it. classes must be sorted ascending. If size exceeds
+// every class the largest class is returned (the entry is stored raw).
+func RoundToClass(size int, classes []int) int {
+	for _, c := range classes {
+		if size <= c {
+			return c
+		}
+	}
+	return classes[len(classes)-1]
+}
+
+// CompressedBytes returns the compressor's encoded size rounded up to whole
+// bytes.
+func CompressedBytes(c Compressor, entry []byte) int {
+	return (c.CompressedBits(entry) + 7) / 8
+}
+
+// SectorsNeeded returns how many 32 B sectors the compressed form of entry
+// occupies: the quantity the Buddy design stores in its 4-bit per-entry
+// metadata. The result is in [0, 4]; 0 means the entry compresses into the
+// zero-page budget (<= 8 B, §3.4 "Special Case For Mostly-Zero Allocations").
+// The zero-page class requires the payload plus the software model's 1-bit
+// stream framing to fit 64 bits, so the boundary is 63 payload bits.
+func SectorsNeeded(c Compressor, entry []byte) int {
+	bits := c.CompressedBits(entry)
+	if bits < ZeroPageBytes*8 {
+		return 0
+	}
+	b := (bits + 7) / 8
+	return (b + SectorBytes - 1) / SectorBytes
+}
+
+// ZeroPageBytes is the per-entry device budget of the 16x mostly-zero target
+// ratio: 8 B kept out of each 128 B (§3.4).
+const ZeroPageBytes = 8
+
+// Ratio returns the compression ratio EntryBytes/size for a rounded size,
+// treating 0 as the metadata-only class (counted as EntryBytes/1 to avoid
+// infinities in aggregate statistics would distort; the paper's Fig. 3
+// assumes a 0 B class, so we return the ratio against 1 byte there).
+func Ratio(size int) float64 {
+	if size <= 0 {
+		return float64(EntryBytes)
+	}
+	return float64(EntryBytes) / float64(size)
+}
+
+// checkEntry panics if entry is not exactly EntryBytes long; compressors use
+// it to enforce their contract early.
+func checkEntry(entry []byte) {
+	if len(entry) != EntryBytes {
+		panic(fmt.Sprintf("compress: entry must be %d bytes, got %d", EntryBytes, len(entry)))
+	}
+}
+
+// Registry returns the full set of implemented compressors, used by the
+// algorithm-comparison ablation bench (§2.4 "After comparing several
+// algorithms ... we choose BPC": the comparison set spans BDI, FPC, FVC,
+// C-PACK and BPC).
+func Registry() []Compressor {
+	return []Compressor{NewBPC(), NewBDI(), NewFPC(), NewFVC(), NewCPack(), Zero{}}
+}

@@ -1,0 +1,188 @@
+package compress
+
+import "encoding/binary"
+
+// CPack implements C-PACK (Chen et al., IEEE TVLSI 2010), the
+// dictionary-based baseline from the paper's algorithm comparison (§2.4).
+// Words are matched against a 16-entry FIFO dictionary of recently seen
+// words:
+//
+//	code    pattern                              bits
+//	00      zero word (zzzz)                       2
+//	01      no match, raw word (xxxx)             34
+//	10      full dictionary match (mmmm)           6  (2 + 4-bit index)
+//	1100    match on upper 2 bytes (mmxx)         24  (4 + 4 idx + 16 raw)
+//	1101    three zero bytes + low byte (zzzx)    12  (4 + 8 raw)
+//	1110    match on upper 3 bytes (mmmx)         16  (4 + 4 idx + 8 raw)
+//
+// Words that are not full matches or zeros are pushed into the dictionary;
+// compressor and decompressor maintain identical dictionary state.
+type CPack struct{}
+
+// NewCPack returns the C-PACK codec.
+func NewCPack() CPack { return CPack{} }
+
+// Name implements Compressor.
+func (CPack) Name() string { return "cpack" }
+
+const cpackDictSize = 16
+
+type cpackDict struct {
+	entries [cpackDictSize]uint32
+	n       int
+	next    int
+}
+
+func (d *cpackDict) push(w uint32) {
+	d.entries[d.next] = w
+	d.next = (d.next + 1) % cpackDictSize
+	if d.n < cpackDictSize {
+		d.n++
+	}
+}
+
+// lookup returns the index of the best match and the match class:
+// 4 = full word, 3 = upper 3 bytes, 2 = upper 2 bytes, 0 = none.
+func (d *cpackDict) lookup(w uint32) (idx, klass int) {
+	klass = 0
+	for i := 0; i < d.n; i++ {
+		e := d.entries[i]
+		switch {
+		case e == w:
+			return i, 4
+		case klass < 3 && e&0xFFFFFF00 == w&0xFFFFFF00:
+			idx, klass = i, 3
+		case klass < 2 && e&0xFFFF0000 == w&0xFFFF0000:
+			idx, klass = i, 2
+		}
+	}
+	return idx, klass
+}
+
+func cpackEncode(entry []byte, w *BitWriter) {
+	var dict cpackDict
+	for i := 0; i < bpcWords; i++ {
+		v := binary.LittleEndian.Uint32(entry[i*4:])
+		if v == 0 {
+			w.WriteBits(0b00, 2)
+			continue
+		}
+		if v&0xFFFFFF00 == 0 {
+			w.WriteBits(0b1101, 4)
+			w.WriteBits(uint64(v)&0xFF, 8)
+			continue
+		}
+		idx, klass := dict.lookup(v)
+		switch klass {
+		case 4:
+			w.WriteBits(0b10, 2)
+			w.WriteBits(uint64(idx), 4)
+		case 3:
+			w.WriteBits(0b1110, 4)
+			w.WriteBits(uint64(idx), 4)
+			w.WriteBits(uint64(v)&0xFF, 8)
+			dict.push(v)
+		case 2:
+			w.WriteBits(0b1100, 4)
+			w.WriteBits(uint64(idx), 4)
+			w.WriteBits(uint64(v)&0xFFFF, 16)
+			dict.push(v)
+		default:
+			w.WriteBits(0b01, 2)
+			w.WriteBits(uint64(v), 32)
+			dict.push(v)
+		}
+	}
+}
+
+// CompressedBits implements Compressor.
+func (CPack) CompressedBits(entry []byte) int {
+	checkEntry(entry)
+	w := NewBitWriter(EntryBytes*8 + 64)
+	cpackEncode(entry, w)
+	if w.Len() >= EntryBytes*8 {
+		return EntryBytes * 8
+	}
+	return w.Len()
+}
+
+// Compress implements Compressor; the leading framing bit (0 = C-PACK
+// stream, 1 = raw) mirrors BPC/FPC.
+func (CPack) Compress(entry []byte) []byte {
+	checkEntry(entry)
+	enc := NewBitWriter(EntryBytes*8 + 64)
+	cpackEncode(entry, enc)
+	out := NewBitWriter(1 + enc.Len())
+	if enc.Len() >= EntryBytes*8 {
+		out.WriteBits(1, 1)
+		for _, b := range entry {
+			out.WriteBits(uint64(b), 8)
+		}
+		return out.Bytes()
+	}
+	out.WriteBits(0, 1)
+	src := NewBitReader(enc.Bytes())
+	for i := 0; i < enc.Len(); i++ {
+		out.WriteBits(src.ReadBits(1), 1)
+	}
+	return out.Bytes()
+}
+
+// Decompress implements Compressor.
+func (CPack) Decompress(comp []byte) ([]byte, error) {
+	r := NewBitReader(comp)
+	out := make([]byte, EntryBytes)
+	if r.ReadBits(1) == 1 {
+		for i := range out {
+			out[i] = byte(r.ReadBits(8))
+		}
+		if r.Overrun() {
+			return nil, ErrCorrupt
+		}
+		return out, nil
+	}
+	var dict cpackDict
+	for i := 0; i < bpcWords; i++ {
+		var v uint32
+		if r.ReadBits(1) == 0 {
+			if r.ReadBits(1) == 0 { // 00: zero
+				continue
+			}
+			// 01: raw
+			v = uint32(r.ReadBits(32))
+			dict.push(v)
+		} else if r.ReadBits(1) == 0 { // 10: full match
+			idx := int(r.ReadBits(4))
+			if idx >= dict.n {
+				return nil, ErrCorrupt
+			}
+			v = dict.entries[idx]
+		} else {
+			switch r.ReadBits(2) {
+			case 0b00: // 1100 mmxx
+				idx := int(r.ReadBits(4))
+				if idx >= dict.n {
+					return nil, ErrCorrupt
+				}
+				v = dict.entries[idx]&0xFFFF0000 | uint32(r.ReadBits(16))
+				dict.push(v)
+			case 0b01: // 1101 zzzx
+				v = uint32(r.ReadBits(8))
+			case 0b10: // 1110 mmmx
+				idx := int(r.ReadBits(4))
+				if idx >= dict.n {
+					return nil, ErrCorrupt
+				}
+				v = dict.entries[idx]&0xFFFFFF00 | uint32(r.ReadBits(8))
+				dict.push(v)
+			default:
+				return nil, ErrCorrupt
+			}
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	if r.Overrun() {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package compress
+
+import "encoding/binary"
+
+// FPC implements Frequent Pattern Compression (Alameldeen & Wood, 2004),
+// another baseline from the paper's algorithm comparison (§2.4). Each 32-bit
+// word is encoded with a 3-bit prefix selecting one of eight patterns:
+//
+//	prefix  pattern                                   payload bits
+//	 000    run of 1..8 zero words                    3 (run length - 1)
+//	 001    4-bit sign-extended                       4
+//	 010    8-bit sign-extended                       8
+//	 011    16-bit sign-extended                      16
+//	 100    zero lower halfword (upper 16 stored)     16
+//	 101    two halfwords, each an 8-bit SE value     16
+//	 110    word of four repeated bytes               8
+//	 111    uncompressed word                         32
+type FPC struct{}
+
+// NewFPC returns the Frequent Pattern Compression codec.
+func NewFPC() FPC { return FPC{} }
+
+// Name implements Compressor.
+func (FPC) Name() string { return "fpc" }
+
+func fpcFits(v uint32, bits int) bool {
+	sv := int32(v)
+	lim := int32(1) << uint(bits-1)
+	return sv >= -lim && sv < lim
+}
+
+func fpcHalfFits(h uint16) bool {
+	sv := int16(h)
+	return sv >= -128 && sv < 128
+}
+
+func fpcEncode(entry []byte, w *BitWriter) {
+	i := 0
+	for i < bpcWords {
+		v := binary.LittleEndian.Uint32(entry[i*4:])
+		if v == 0 {
+			run := 1
+			for i+run < bpcWords && run < 8 &&
+				binary.LittleEndian.Uint32(entry[(i+run)*4:]) == 0 {
+				run++
+			}
+			w.WriteBits(0b000, 3)
+			w.WriteBits(uint64(run-1), 3)
+			i += run
+			continue
+		}
+		switch {
+		case fpcFits(v, 4):
+			w.WriteBits(0b001, 3)
+			w.WriteBits(uint64(v)&0xF, 4)
+		case fpcFits(v, 8):
+			w.WriteBits(0b010, 3)
+			w.WriteBits(uint64(v)&0xFF, 8)
+		case fpcFits(v, 16):
+			w.WriteBits(0b011, 3)
+			w.WriteBits(uint64(v)&0xFFFF, 16)
+		case v&0xFFFF == 0:
+			w.WriteBits(0b100, 3)
+			w.WriteBits(uint64(v>>16), 16)
+		case fpcHalfFits(uint16(v)) && fpcHalfFits(uint16(v>>16)):
+			w.WriteBits(0b101, 3)
+			w.WriteBits(uint64(v)&0xFF, 8)
+			w.WriteBits(uint64(v>>16)&0xFF, 8)
+		case byte(v) == byte(v>>8) && byte(v) == byte(v>>16) && byte(v) == byte(v>>24):
+			w.WriteBits(0b110, 3)
+			w.WriteBits(uint64(v)&0xFF, 8)
+		default:
+			w.WriteBits(0b111, 3)
+			w.WriteBits(uint64(v), 32)
+		}
+		i++
+	}
+}
+
+// CompressedBits implements Compressor.
+func (FPC) CompressedBits(entry []byte) int {
+	checkEntry(entry)
+	w := NewBitWriter(EntryBytes * 8)
+	fpcEncode(entry, w)
+	if w.Len() >= EntryBytes*8 {
+		return EntryBytes * 8
+	}
+	return w.Len()
+}
+
+// Compress implements Compressor. A leading framing bit distinguishes the
+// FPC stream (0) from a raw fallback (1); as with BPC the flag is metadata
+// in hardware and excluded from CompressedBits.
+func (FPC) Compress(entry []byte) []byte {
+	checkEntry(entry)
+	enc := NewBitWriter(EntryBytes * 8)
+	fpcEncode(entry, enc)
+	out := NewBitWriter(1 + enc.Len())
+	if enc.Len() >= EntryBytes*8 {
+		out.WriteBits(1, 1)
+		for _, b := range entry {
+			out.WriteBits(uint64(b), 8)
+		}
+		return out.Bytes()
+	}
+	out.WriteBits(0, 1)
+	src := NewBitReader(enc.Bytes())
+	for i := 0; i < enc.Len(); i++ {
+		out.WriteBits(src.ReadBits(1), 1)
+	}
+	return out.Bytes()
+}
+
+// Decompress implements Compressor.
+func (FPC) Decompress(comp []byte) ([]byte, error) {
+	r := NewBitReader(comp)
+	out := make([]byte, EntryBytes)
+	if r.ReadBits(1) == 1 {
+		for i := range out {
+			out[i] = byte(r.ReadBits(8))
+		}
+		if r.Overrun() {
+			return nil, ErrCorrupt
+		}
+		return out, nil
+	}
+	i := 0
+	for i < bpcWords {
+		prefix := r.ReadBits(3)
+		var v uint32
+		switch prefix {
+		case 0b000:
+			run := int(r.ReadBits(3)) + 1
+			i += run
+			continue
+		case 0b001:
+			v = uint32(int64(r.ReadBits(4)) << 60 >> 60)
+		case 0b010:
+			v = uint32(int32(int8(r.ReadBits(8))))
+		case 0b011:
+			v = uint32(int32(int16(r.ReadBits(16))))
+		case 0b100:
+			v = uint32(r.ReadBits(16)) << 16
+		case 0b101:
+			lo := uint32(int32(int8(r.ReadBits(8)))) & 0xFFFF
+			hi := uint32(int32(int8(r.ReadBits(8)))) & 0xFFFF
+			v = hi<<16 | lo
+		case 0b110:
+			b := uint32(r.ReadBits(8))
+			v = b | b<<8 | b<<16 | b<<24
+		default:
+			v = uint32(r.ReadBits(32))
+		}
+		if i >= bpcWords {
+			return nil, ErrCorrupt
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+		i++
+	}
+	if r.Overrun() {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

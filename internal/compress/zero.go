@@ -1,0 +1,62 @@
+package compress
+
+// Zero is the trivial compressor that recognizes only all-zero entries. It
+// provides the floor of the algorithm-comparison ablation and doubles as the
+// detector for the paper's mostly-zero allocation optimization (§3.4).
+type Zero struct{}
+
+// Name implements Compressor.
+func (Zero) Name() string { return "zero" }
+
+// CompressedBits implements Compressor: 0 bits for an all-zero entry
+// (existence is encoded in metadata), raw size otherwise.
+func (Zero) CompressedBits(entry []byte) int {
+	checkEntry(entry)
+	if bdiAllZero(entry) {
+		return 0
+	}
+	return EntryBytes * 8
+}
+
+// Compress implements Compressor: one framing bit (0 = zero entry) or the
+// framing bit plus the raw bytes.
+func (Zero) Compress(entry []byte) []byte {
+	checkEntry(entry)
+	w := NewBitWriter(1 + EntryBytes*8)
+	if bdiAllZero(entry) {
+		w.WriteBits(0, 1)
+		return w.Bytes()
+	}
+	w.WriteBits(1, 1)
+	for _, b := range entry {
+		w.WriteBits(uint64(b), 8)
+	}
+	return w.Bytes()
+}
+
+// Decompress implements Compressor.
+func (Zero) Decompress(comp []byte) ([]byte, error) {
+	r := NewBitReader(comp)
+	out := make([]byte, EntryBytes)
+	if r.ReadBits(1) == 0 {
+		return out, nil
+	}
+	for i := range out {
+		out[i] = byte(r.ReadBits(8))
+	}
+	if r.Overrun() {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// OptimisticSize returns the entry's compressed size rounded to the paper's
+// optimistic eight-size study (Fig. 3): all-zero entries take the 0 B class
+// (representable purely in metadata), others round up within
+// OptimisticSizes.
+func OptimisticSize(c Compressor, entry []byte) int {
+	if bdiAllZero(entry) {
+		return 0
+	}
+	return RoundToClass(CompressedBytes(c, entry), OptimisticSizes)
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"buddy/internal/compress"
+)
+
+// Config parameterizes a Buddy Compression device.
+type Config struct {
+	// Compressor is the memory compression algorithm (default BPC, §2.4).
+	Compressor compress.Compressor
+	// DeviceBytes is the GPU device memory capacity available for
+	// compressed allocations.
+	DeviceBytes int64
+	// CarveoutFactor sizes the buddy carve-out relative to device memory;
+	// 3x supports a 4x maximum target ratio (§3.2).
+	CarveoutFactor int
+	// MetadataCacheBytes is the total metadata cache capacity (§3.5:
+	// 4 KB per DRAM-channel slice).
+	MetadataCacheBytes int
+	// MetadataCacheSlices is the number of slices (§3.2: 8).
+	MetadataCacheSlices int
+	// MetadataCacheWays is the associativity (§3.2: 4).
+	MetadataCacheWays int
+}
+
+// DefaultConfig returns the paper's final design parameters (§3.5) with a
+// 12 GB device (Titan Xp class, as in the DL case study).
+func DefaultConfig() Config {
+	return Config{
+		Compressor:          compress.NewBPC(),
+		DeviceBytes:         12 << 30,
+		CarveoutFactor:      3,
+		MetadataCacheBytes:  64 << 10,
+		MetadataCacheSlices: 8,
+		MetadataCacheWays:   4,
+	}
+}
+
+// Traffic accumulates byte-level traffic statistics for the device.
+type Traffic struct {
+	// DeviceReadBytes and DeviceWriteBytes count device-memory data traffic.
+	DeviceReadBytes  uint64
+	DeviceWriteBytes uint64
+	// BuddyReadBytes and BuddyWriteBytes count interconnect traffic to the
+	// buddy carve-out.
+	BuddyReadBytes  uint64
+	BuddyWriteBytes uint64
+	// MetadataFillBytes counts device reads caused by metadata cache misses.
+	MetadataFillBytes uint64
+	// Reads and Writes count entry-level operations; BuddyAccesses counts
+	// operations that touched buddy memory (the numerator of Fig. 7/9).
+	Reads         uint64
+	Writes        uint64
+	BuddyAccesses uint64
+}
+
+// BuddyAccessFraction returns the fraction of entry accesses that touched
+// buddy memory.
+func (t Traffic) BuddyAccessFraction() float64 {
+	total := t.Reads + t.Writes
+	if total == 0 {
+		return 0
+	}
+	return float64(t.BuddyAccesses) / float64(total)
+}
+
+// Device is a Buddy Compression GPU memory: compressed allocations split
+// between a device slab and a buddy carve-out addressed from a global base
+// register (GBBR). Compressed streams are bit-exact; placement and traffic
+// are modeled at the paper's sector granularity. The software keeps the
+// per-entry compressed streams in a side table because the model's 1-bit
+// stream framing would otherwise straddle slot boundaries that hardware
+// metadata absorbs.
+type Device struct {
+	cfg    Config
+	meta   *MetadataStore
+	mcache *MetadataCache
+
+	allocs      []*Allocation
+	deviceUsed  int64
+	buddyUsed   int64
+	totalEntry  int
+	streams     [][]byte // side table of compressed streams, by global entry
+	gbbr        uint64   // global buddy base address (modeled)
+	traffic     Traffic
+	metaEnabled bool
+}
+
+// ErrOutOfMemory is returned when an allocation does not fit device memory
+// or its buddy slots exceed the carve-out.
+var ErrOutOfMemory = errors.New("core: out of memory")
+
+// NewDevice constructs a device from cfg, applying DefaultConfig values for
+// zero fields.
+func NewDevice(cfg Config) *Device {
+	def := DefaultConfig()
+	if cfg.Compressor == nil {
+		cfg.Compressor = def.Compressor
+	}
+	if cfg.DeviceBytes == 0 {
+		cfg.DeviceBytes = def.DeviceBytes
+	}
+	if cfg.CarveoutFactor == 0 {
+		cfg.CarveoutFactor = def.CarveoutFactor
+	}
+	if cfg.MetadataCacheBytes == 0 {
+		cfg.MetadataCacheBytes = def.MetadataCacheBytes
+	}
+	if cfg.MetadataCacheSlices == 0 {
+		cfg.MetadataCacheSlices = def.MetadataCacheSlices
+	}
+	if cfg.MetadataCacheWays == 0 {
+		cfg.MetadataCacheWays = def.MetadataCacheWays
+	}
+	return &Device{
+		cfg:         cfg,
+		meta:        NewMetadataStore(0),
+		mcache:      NewMetadataCache(cfg.MetadataCacheBytes, cfg.MetadataCacheSlices, cfg.MetadataCacheWays),
+		gbbr:        0x4000_0000_0000, // arbitrary carve-out base
+		metaEnabled: true,
+	}
+}
+
+// Allocation is one compressed cudaMalloc region on a device.
+type Allocation struct {
+	dev *Device
+	// Name identifies the allocation.
+	Name string
+	// Target is the annotated target compression ratio.
+	Target TargetRatio
+	// EntryCount is the number of 128 B memory-entries.
+	EntryCount int
+
+	firstEntry  int    // global entry index of entry 0
+	deviceOff   int64  // offset of the compressed region in device memory
+	buddyOff    uint64 // offset of the buddy slots from the GBBR
+	sectorCount []int  // last committed compressed sector count per entry
+}
+
+// Carveout returns the buddy carve-out capacity in bytes.
+func (d *Device) Carveout() int64 {
+	return d.cfg.DeviceBytes * int64(d.cfg.CarveoutFactor)
+}
+
+// DeviceUsed returns the device bytes reserved by live allocations.
+func (d *Device) DeviceUsed() int64 { return d.deviceUsed }
+
+// BuddyUsed returns the carve-out bytes reserved by live allocations.
+func (d *Device) BuddyUsed() int64 { return d.buddyUsed }
+
+// Traffic returns a copy of the accumulated traffic counters.
+func (d *Device) Traffic() Traffic { return d.traffic }
+
+// ResetTraffic clears traffic counters and the metadata cache.
+func (d *Device) ResetTraffic() {
+	d.traffic = Traffic{}
+	d.mcache.Reset()
+}
+
+// MetadataCacheHitRate exposes the metadata cache hit rate (Fig. 5b).
+func (d *Device) MetadataCacheHitRate() float64 { return d.mcache.HitRate() }
+
+// CompressionRatio returns the capacity compression the device currently
+// achieves: original bytes of live allocations over their device
+// reservation. This is the quantity Fig. 7 and Fig. 9 report.
+func (d *Device) CompressionRatio() float64 {
+	var orig, dev int64
+	for _, a := range d.allocs {
+		orig += int64(a.EntryCount) * 128
+		dev += int64(a.EntryCount) * int64(a.Target.DeviceBytes())
+	}
+	if dev == 0 {
+		return 1
+	}
+	return float64(orig) / float64(dev)
+}
+
+// Malloc reserves a compressed allocation of size bytes with the given
+// target ratio. The device reservation is size/target; the remainder of
+// each entry is reserved in the buddy carve-out (§3.2).
+func (d *Device) Malloc(name string, size int64, target TargetRatio) (*Allocation, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: invalid allocation size %d", size)
+	}
+	entries := int((size + 127) / 128)
+	devBytes := int64(entries) * int64(target.DeviceBytes())
+	buddyBytes := int64(entries) * int64(target.BuddySlotBytes())
+	if d.deviceUsed+devBytes > d.cfg.DeviceBytes {
+		return nil, fmt.Errorf("%w: device (%d + %d > %d)", ErrOutOfMemory, d.deviceUsed, devBytes, d.cfg.DeviceBytes)
+	}
+	if d.buddyUsed+buddyBytes > d.Carveout() {
+		return nil, fmt.Errorf("%w: buddy carve-out (%d + %d > %d)", ErrOutOfMemory, d.buddyUsed, buddyBytes, d.Carveout())
+	}
+	a := &Allocation{
+		dev:         d,
+		Name:        name,
+		Target:      target,
+		EntryCount:  entries,
+		firstEntry:  d.totalEntry,
+		deviceOff:   d.deviceUsed,
+		buddyOff:    uint64(d.buddyUsed),
+		sectorCount: make([]int, entries),
+	}
+	d.deviceUsed += devBytes
+	d.buddyUsed += buddyBytes
+	d.totalEntry += entries
+	d.streams = append(d.streams, make([][]byte, entries)...)
+	d.meta = growMetadata(d.meta, d.totalEntry)
+	d.allocs = append(d.allocs, a)
+	return a, nil
+}
+
+func growMetadata(old *MetadataStore, n int) *MetadataStore {
+	m := NewMetadataStore(n)
+	copy(m.packed, old.packed)
+	return m
+}
+
+// DeviceAddress returns the device byte address of entry i's first sector.
+// Fixed at allocation time: compressibility changes never move data (§3.3).
+func (a *Allocation) DeviceAddress(i int) uint64 {
+	return uint64(a.deviceOff) + uint64(i)*uint64(a.Target.DeviceBytes())
+}
+
+// BuddyAddress returns the buddy-memory address (GBBR + offset) of entry
+// i's overflow slot. Fixed at allocation time.
+func (a *Allocation) BuddyAddress(i int) uint64 {
+	return a.dev.gbbr + a.buddyOff + uint64(i)*uint64(a.Target.BuddySlotBytes())
+}
+
+// PTEFor returns the extended page-table entry for the allocation's pages.
+func (a *Allocation) PTEFor() PTE {
+	return PTE{Compressed: true, Target: a.Target, BuddyPageOffset: uint32(a.buddyOff >> 16)}
+}
+
+func (a *Allocation) checkIndex(i int) error {
+	if i < 0 || i >= a.EntryCount {
+		return fmt.Errorf("core: entry index %d out of range [0,%d)", i, a.EntryCount)
+	}
+	return nil
+}
+
+// WriteEntry compresses and stores a 128 B entry. Sectors beyond the target
+// budget are written to the entry's fixed buddy slot; no other entry is
+// disturbed regardless of compressibility changes.
+func (a *Allocation) WriteEntry(i int, data []byte) error {
+	if err := a.checkIndex(i); err != nil {
+		return err
+	}
+	if len(data) != 128 {
+		return fmt.Errorf("core: entry must be 128 bytes, got %d", len(data))
+	}
+	d := a.dev
+	c := d.cfg.Compressor
+	sectors := compress.SectorsNeeded(c, data)
+	g := a.firstEntry + i
+	d.streams[g] = c.Compress(data)
+	a.sectorCount[i] = sectors
+
+	d.accessMetadata(g)
+	d.meta.Set(g, sectors)
+
+	d.traffic.Writes++
+	dev, buddy := a.splitBytes(sectors)
+	d.traffic.DeviceWriteBytes += uint64(dev)
+	d.traffic.BuddyWriteBytes += uint64(buddy)
+	if buddy > 0 {
+		d.traffic.BuddyAccesses++
+	}
+	return nil
+}
+
+// ReadEntry fetches and decompresses entry i into dst (128 bytes).
+func (a *Allocation) ReadEntry(i int, dst []byte) error {
+	if err := a.checkIndex(i); err != nil {
+		return err
+	}
+	if len(dst) != 128 {
+		return fmt.Errorf("core: dst must be 128 bytes, got %d", len(dst))
+	}
+	d := a.dev
+	g := a.firstEntry + i
+	d.accessMetadata(g)
+	sectors := d.meta.Get(g)
+
+	d.traffic.Reads++
+	dev, buddy := a.splitBytes(sectors)
+	d.traffic.DeviceReadBytes += uint64(dev)
+	d.traffic.BuddyReadBytes += uint64(buddy)
+	if buddy > 0 {
+		d.traffic.BuddyAccesses++
+	}
+
+	stream := d.streams[g]
+	if stream == nil {
+		// Never-written entries read as zero, like fresh cudaMalloc pages.
+		for j := range dst {
+			dst[j] = 0
+		}
+		return nil
+	}
+	out, err := d.cfg.Compressor.Decompress(stream)
+	if err != nil {
+		return fmt.Errorf("core: entry %d of %s: %w", i, a.Name, err)
+	}
+	copy(dst, out)
+	return nil
+}
+
+// splitBytes returns the device and buddy byte traffic for one access to an
+// entry of the given compressed sector count under the allocation's target.
+func (a *Allocation) splitBytes(sectors int) (dev, buddy int) {
+	t := a.Target
+	if t == Target16x {
+		if sectors == 0 {
+			return 8, 0
+		}
+		return 8, sectors * 32 // metadata word read + whole entry from buddy
+	}
+	if sectors == 0 {
+		return 32, 0 // minimum one-sector device access
+	}
+	devSectors := sectors
+	if devSectors > t.DeviceSectors() {
+		devSectors = t.DeviceSectors()
+	}
+	return devSectors * 32, t.OverflowSectors(sectors) * 32
+}
+
+// accessMetadata models the metadata-cache lookup on every memory access; a
+// miss costs one 32 B device read (§3.2), counted separately so the
+// simulator can weigh it.
+func (d *Device) accessMetadata(globalEntry int) {
+	if !d.metaEnabled {
+		return
+	}
+	if !d.mcache.Access(globalEntry) {
+		d.traffic.MetadataFillBytes += MetadataLineBytes
+		d.traffic.DeviceReadBytes += MetadataLineBytes
+	}
+}
+
+// SetMetadataCacheEnabled toggles metadata-cache modeling (used by the
+// Fig. 5b sweep to re-run with different cache sizes).
+func (d *Device) SetMetadataCacheEnabled(on bool) { d.metaEnabled = on }
+
+// Allocations returns the live allocations in allocation order.
+func (d *Device) Allocations() []*Allocation { return d.allocs }
+
+// SectorCount returns entry i's last committed compressed sector count.
+func (a *Allocation) SectorCount(i int) int { return a.sectorCount[i] }

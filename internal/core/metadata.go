@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"buddy/internal/cache"
+)
+
+// MetadataBitsPerEntry is the per-128 B-entry translation metadata: enough
+// to record the compressed sector count (§3.2, "4 bits of metadata per cache
+// block ... amounting to a 0.4% overhead in storage").
+const MetadataBitsPerEntry = 4
+
+// MetadataLineBytes is the metadata cache line size; one 32 B line covers
+// the metadata of 64 consecutive memory-entries, so a miss prefetches the
+// metadata of 63 neighbours (§3.2).
+const MetadataLineBytes = 32
+
+// EntriesPerMetadataLine is 32 B * 8 / 4 bits = 64.
+const EntriesPerMetadataLine = MetadataLineBytes * 8 / MetadataBitsPerEntry
+
+// MetadataStore holds the dedicated device-memory region with 4 bits per
+// memory-entry, packed two entries per byte.
+type MetadataStore struct {
+	packed []uint8
+}
+
+// NewMetadataStore sizes a store for n memory-entries.
+func NewMetadataStore(n int) *MetadataStore {
+	return &MetadataStore{packed: make([]uint8, (n+1)/2)}
+}
+
+// Set records the compressed sector count (0..4) for entry i. Values above
+// 15 cannot occur; the store panics on out-of-range input as that is a
+// programming error.
+func (m *MetadataStore) Set(i, sectors int) {
+	if sectors < 0 || sectors > 15 {
+		panic(fmt.Sprintf("core: metadata value %d out of 4-bit range", sectors))
+	}
+	idx := i / 2
+	if i%2 == 0 {
+		m.packed[idx] = m.packed[idx]&0xF0 | uint8(sectors)
+	} else {
+		m.packed[idx] = m.packed[idx]&0x0F | uint8(sectors)<<4
+	}
+}
+
+// Get returns the compressed sector count for entry i.
+func (m *MetadataStore) Get(i int) int {
+	idx := i / 2
+	if i%2 == 0 {
+		return int(m.packed[idx] & 0x0F)
+	}
+	return int(m.packed[idx] >> 4)
+}
+
+// Bytes returns the size of the metadata region in bytes.
+func (m *MetadataStore) Bytes() int { return len(m.packed) }
+
+// OverheadFraction returns metadata bytes over data bytes: 4 bits per 128 B
+// entry = 1/256 ≈ 0.4% (§3.2).
+func (m *MetadataStore) OverheadFraction() float64 {
+	dataBytes := float64(len(m.packed) * 2 * 128)
+	if dataBytes == 0 {
+		return 0
+	}
+	return float64(len(m.packed)) / dataBytes
+}
+
+// MetadataCache models the sliced, set-associative metadata cache (Fig. 5:
+// 4-way, 64 KB total split into 8 slices, one per DRAM channel; Tab. 2 uses
+// 4 KB per slice). Metadata lines are interleaved across slices with the
+// same hashing as regular physical addresses.
+type MetadataCache struct {
+	slices []*cache.Cache
+}
+
+// NewMetadataCache builds a cache of totalBytes split across nSlices
+// set-associative slices.
+func NewMetadataCache(totalBytes, nSlices, ways int) *MetadataCache {
+	if nSlices <= 0 {
+		nSlices = 1
+	}
+	per := totalBytes / nSlices
+	mc := &MetadataCache{slices: make([]*cache.Cache, nSlices)}
+	for i := range mc.slices {
+		mc.slices[i] = cache.New(per, ways, MetadataLineBytes)
+	}
+	return mc
+}
+
+// Access looks up the metadata line for memory-entry index entry, returning
+// whether it hit. A miss models one extra 32 B device-memory read. The slice
+// is selected by the line address (the DRAM-channel hash of §3.2); the
+// slice-local lookup drops the selection bits so slice id and set index do
+// not alias.
+func (mc *MetadataCache) Access(entry int) bool {
+	byteAddr := uint64(entry) * MetadataBitsPerEntry / 8
+	line := byteAddr / MetadataLineBytes
+	sl := mc.slices[line%uint64(len(mc.slices))]
+	local := line / uint64(len(mc.slices)) * MetadataLineBytes
+	return sl.Access(local)
+}
+
+// HitRate aggregates hits across slices.
+func (mc *MetadataCache) HitRate() float64 {
+	var h, m uint64
+	for _, s := range mc.slices {
+		h += s.Hits()
+		m += s.Misses()
+	}
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Reset clears all slices.
+func (mc *MetadataCache) Reset() {
+	for _, s := range mc.slices {
+		s.Reset()
+	}
+}
+
+// PageTableOverheadBits is the per-PTE extension Buddy Compression needs:
+// compressed flag, target ratio, and the buddy-page offset from the GBBR
+// (§3.2: "a total overhead of 24 bits per page-table entry").
+const PageTableOverheadBits = 24
+
+// PTE models the extended page-table entry fields (§3.2). It exists to make
+// the translation path explicit and testable; the simulator does not model
+// TLB timing (the paper's design adds no extra TLB lookups).
+type PTE struct {
+	// Compressed marks pages under Buddy Compression.
+	Compressed bool
+	// Target is the page's target compression ratio.
+	Target TargetRatio
+	// BuddyPageOffset is the page's offset from the Global Buddy
+	// Base-address Register in buddy-page units.
+	BuddyPageOffset uint32
+}
+
+// Pack encodes the PTE extension into its 24-bit representation.
+func (p PTE) Pack() uint32 {
+	v := uint32(p.BuddyPageOffset) & 0xFFFFF // 20 bits of offset
+	v |= uint32(p.Target) << 20              // 3 bits of ratio
+	if p.Compressed {
+		v |= 1 << 23
+	}
+	return v
+}
+
+// UnpackPTE decodes a 24-bit PTE extension.
+func UnpackPTE(v uint32) PTE {
+	return PTE{
+		Compressed:      v&(1<<23) != 0,
+		Target:          TargetRatio(v >> 20 & 0x7),
+		BuddyPageOffset: v & 0xFFFFF,
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"sort"
+
+	"buddy/internal/compress"
+	"buddy/internal/memory"
+)
+
+// ProfileOptions configure the target-ratio selection pass (§3.4).
+type ProfileOptions struct {
+	// Threshold is the Buddy Threshold: the maximum fraction of an
+	// allocation's entries allowed to overflow to buddy memory (§3.4;
+	// final design default 30%).
+	Threshold float64
+	// PerAllocation selects per-allocation targets; false reproduces the
+	// naive whole-program conservative target (Fig. 7 "Naive").
+	PerAllocation bool
+	// ZeroPage enables the aggressive 16x mostly-zero target (§3.4).
+	ZeroPage bool
+	// ZeroPageMinFrac is the minimum fraction of zero-page-class entries,
+	// in every snapshot, for 16x eligibility ("allocations that are mostly
+	// zero, and remain so for the entirety of the run").
+	ZeroPageMinFrac float64
+	// MaxAggregate caps the whole-device compression ratio, limited by the
+	// buddy carve-out (§3.4: "still under 4x").
+	MaxAggregate float64
+}
+
+// FinalDesign returns the paper's final configuration: per-allocation
+// targets, 30% Buddy Threshold, zero-page optimization, 4x carve-out cap
+// (§3.5).
+func FinalDesign() ProfileOptions {
+	return ProfileOptions{
+		Threshold:       0.30,
+		PerAllocation:   true,
+		ZeroPage:        true,
+		ZeroPageMinFrac: 0.90,
+		MaxAggregate:    4.0,
+	}
+}
+
+// Naive returns the naive whole-program conservative configuration of
+// Fig. 7's first bar.
+func Naive() ProfileOptions {
+	o := FinalDesign()
+	o.PerAllocation = false
+	o.ZeroPage = false
+	return o
+}
+
+// PerAllocationOnly returns per-allocation targets without the zero-page
+// optimization (Fig. 7's middle bar).
+func PerAllocationOnly() ProfileOptions {
+	o := FinalDesign()
+	o.ZeroPage = false
+	return o
+}
+
+// AllocationProfile aggregates one allocation's compressibility over the
+// profiling snapshots.
+type AllocationProfile struct {
+	// Name of the allocation.
+	Name string
+	// Entries is the allocation's entry count.
+	Entries int
+	// Hist[s] counts entry observations (entries x snapshots) that
+	// compressed to s sectors; index 0 is the zero-page class.
+	Hist [5]int
+	// MinZeroFrac is the minimum, across snapshots, of the fraction of
+	// zero-page-class entries — the 16x eligibility statistic.
+	MinZeroFrac float64
+	// Target is the chosen target ratio.
+	Target TargetRatio
+	// OverflowFrac is the expected fraction of entries that overflow to
+	// buddy memory under Target (the static buddy-access estimate, §3.4).
+	OverflowFrac float64
+}
+
+// ProfileResult is the outcome of the profiling pass.
+type ProfileResult struct {
+	// Allocations holds per-allocation profiles in allocation order.
+	Allocations []*AllocationProfile
+	// CompressionRatio is the whole-program device-reservation ratio under
+	// the chosen targets (Fig. 7/9 line).
+	CompressionRatio float64
+	// BuddyAccessFraction is the entry-weighted expected fraction of
+	// accesses served partly from buddy memory (Fig. 7/9 bars).
+	BuddyAccessFraction float64
+	// BestAchievable is the unconstrained sector-granular compression the
+	// data admits (with 8 B zero-page entries), capped by the carve-out:
+	// Fig. 9's black marker.
+	BestAchievable float64
+}
+
+// Targets returns the name -> ratio map for annotating allocations.
+func (r *ProfileResult) Targets() map[string]TargetRatio {
+	m := make(map[string]TargetRatio, len(r.Allocations))
+	for _, a := range r.Allocations {
+		m[a.Name] = a.Target
+	}
+	return m
+}
+
+// Profile runs the paper's profiling pass over a run's snapshots: it
+// histograms per-entry compressed sector counts per allocation, picks the
+// most aggressive target whose overflow stays within the Buddy Threshold,
+// applies the zero-page special case, and demotes targets until the
+// aggregate ratio respects the carve-out cap (§3.4, §3.5).
+func Profile(snaps []*memory.Snapshot, c compress.Compressor, opt ProfileOptions) *ProfileResult {
+	if opt.Threshold <= 0 {
+		opt.Threshold = 0.30
+	}
+	if opt.MaxAggregate <= 0 {
+		opt.MaxAggregate = 4.0
+	}
+	if opt.ZeroPageMinFrac <= 0 {
+		opt.ZeroPageMinFrac = 0.90
+	}
+	profiles := collectProfiles(snaps, c)
+	if opt.PerAllocation {
+		for _, p := range profiles {
+			p.Target = chooseTarget(p, opt)
+		}
+	} else {
+		// Naive (Fig. 7 first bar): a single, conservative whole-program
+		// target derived from the program's overall compressibility — the
+		// largest allowed ratio not exceeding the worst-snapshot average
+		// sector-granular compression. Averages hide variance, so this
+		// choice both compresses less than per-allocation targets and
+		// overflows far more entries to buddy memory.
+		t := naiveTarget(snaps, c)
+		for _, p := range profiles {
+			p.Target = t
+		}
+	}
+	enforceCarveoutCap(profiles, opt.MaxAggregate)
+	for _, p := range profiles {
+		p.OverflowFrac = overflowFrac(p, p.Target)
+	}
+	return summarize(profiles, snaps, c)
+}
+
+func collectProfiles(snaps []*memory.Snapshot, c compress.Compressor) []*AllocationProfile {
+	index := make(map[string]*AllocationProfile)
+	var order []*AllocationProfile
+	for _, s := range snaps {
+		for _, a := range s.Allocations {
+			p := index[a.Name]
+			if p == nil {
+				p = &AllocationProfile{Name: a.Name, Entries: a.Entries(), MinZeroFrac: 1}
+				index[a.Name] = p
+				order = append(order, p)
+			}
+			h := memory.SectorHistogram(a, c)
+			for s := range h {
+				p.Hist[s] += h[s]
+			}
+			zf := float64(h[0]) / float64(a.Entries())
+			if zf < p.MinZeroFrac {
+				p.MinZeroFrac = zf
+			}
+		}
+	}
+	return order
+}
+
+// overflowFrac is the fraction of profiled entries that would overflow to
+// buddy memory under target t.
+func overflowFrac(p *AllocationProfile, t TargetRatio) float64 {
+	var total, over int
+	for s, n := range p.Hist {
+		total += n
+		if !t.Fits(s) {
+			over += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(over) / float64(total)
+}
+
+// chooseTarget picks the most aggressive ratio whose overflow stays within
+// the Buddy Threshold; 16x additionally requires the allocation to be
+// mostly-zero in every snapshot.
+func chooseTarget(p *AllocationProfile, opt ProfileOptions) TargetRatio {
+	if opt.ZeroPage && p.MinZeroFrac >= opt.ZeroPageMinFrac &&
+		overflowFrac(p, Target16x) <= opt.Threshold {
+		return Target16x
+	}
+	for _, t := range []TargetRatio{Target4x, Target2x, Target4by3x} {
+		if overflowFrac(p, t) <= opt.Threshold {
+			return t
+		}
+	}
+	return Target1x
+}
+
+// naiveTarget computes the whole-program conservative ratio: the minimum
+// over snapshots of the sector-quantized compression ratio (entries below
+// one sector still cost a sector without the zero-page mode), rounded down
+// to an allowed target.
+func naiveTarget(snaps []*memory.Snapshot, c compress.Compressor) TargetRatio {
+	prog := 4.0
+	for _, s := range snaps {
+		var orig, comp float64
+		for _, a := range s.Allocations {
+			n := a.Entries()
+			for i := 0; i < n; i++ {
+				sec := compress.SectorsNeeded(c, a.Entry(i))
+				if sec == 0 {
+					sec = 1
+				}
+				orig += 128
+				comp += float64(sec * 32)
+			}
+		}
+		if comp > 0 && orig/comp < prog {
+			prog = orig / comp
+		}
+	}
+	target := Target1x
+	for _, t := range []TargetRatio{Target4by3x, Target2x, Target4x} {
+		if t.Value() <= prog {
+			target = t
+		}
+	}
+	return target
+}
+
+// enforceCarveoutCap demotes the most aggressive targets until the aggregate
+// device compression ratio is within maxAgg (§3.4: the profiler keeps the
+// overall ratio under 4x, limited by the carve-out region).
+func enforceCarveoutCap(profiles []*AllocationProfile, maxAgg float64) {
+	for {
+		var orig, dev float64
+		for _, p := range profiles {
+			orig += float64(p.Entries) * 128
+			dev += float64(p.Entries) * float64(p.Target.DeviceBytes())
+		}
+		if dev == 0 || orig/dev <= maxAgg {
+			return
+		}
+		// Demote the largest-footprint allocation at the highest ratio.
+		cand := make([]*AllocationProfile, 0, len(profiles))
+		for _, p := range profiles {
+			if p.Target != Target1x {
+				cand = append(cand, p)
+			}
+		}
+		if len(cand) == 0 {
+			return
+		}
+		sort.Slice(cand, func(i, j int) bool {
+			if cand[i].Target != cand[j].Target {
+				return cand[i].Target > cand[j].Target
+			}
+			return cand[i].Entries > cand[j].Entries
+		})
+		cand[0].Target--
+	}
+}
+
+func summarize(profiles []*AllocationProfile, snaps []*memory.Snapshot, c compress.Compressor) *ProfileResult {
+	res := &ProfileResult{Allocations: profiles}
+	var orig, dev, overflowWeighted, entriesTotal float64
+	for _, p := range profiles {
+		orig += float64(p.Entries) * 128
+		dev += float64(p.Entries) * float64(p.Target.DeviceBytes())
+		overflowWeighted += overflowFrac(p, p.Target) * float64(p.Entries)
+		entriesTotal += float64(p.Entries)
+	}
+	if dev > 0 {
+		res.CompressionRatio = orig / dev
+	}
+	if entriesTotal > 0 {
+		res.BuddyAccessFraction = overflowWeighted / entriesTotal
+	}
+	res.BestAchievable = bestAchievable(snaps, c)
+	return res
+}
+
+// bestAchievable computes the sector-granular compression the data itself
+// admits (zero-page entries at 8 B), averaged over snapshots and capped at
+// the 4x carve-out limit — the "best achievable compression ratio assuming
+// no constraints are placed on the buddy-memory accesses" of Fig. 9.
+func bestAchievable(snaps []*memory.Snapshot, c compress.Compressor) float64 {
+	if len(snaps) == 0 {
+		return 1
+	}
+	var orig, comp float64
+	for _, s := range snaps {
+		for _, a := range s.Allocations {
+			n := a.Entries()
+			for i := 0; i < n; i++ {
+				sec := compress.SectorsNeeded(c, a.Entry(i))
+				orig += 128
+				if sec == 0 {
+					comp += 8
+				} else {
+					comp += float64(sec * 32)
+				}
+			}
+		}
+	}
+	if comp == 0 {
+		return 4
+	}
+	r := orig / comp
+	if r > 4 {
+		r = 4
+	}
+	return r
+}
+
+// MeasureSnapshot reports, for a snapshot under given targets, the achieved
+// device ratio and the entry-weighted overflow fraction — used for the
+// over-time studies (Fig. 8) where targets stay fixed while data changes.
+func MeasureSnapshot(s *memory.Snapshot, c compress.Compressor, targets map[string]TargetRatio) (ratio, buddyFrac float64) {
+	var orig, dev, over, entries float64
+	for _, a := range s.Allocations {
+		t, ok := targets[a.Name]
+		if !ok {
+			t = Target1x
+		}
+		n := a.Entries()
+		for i := 0; i < n; i++ {
+			sec := compress.SectorsNeeded(c, a.Entry(i))
+			if !t.Fits(sec) {
+				over++
+			}
+		}
+		entries += float64(n)
+		orig += float64(n) * 128
+		dev += float64(n) * float64(t.DeviceBytes())
+	}
+	if dev > 0 {
+		ratio = orig / dev
+	}
+	if entries > 0 {
+		buddyFrac = over / entries
+	}
+	return ratio, buddyFrac
+}

@@ -1,0 +1,295 @@
+// Package dltrain implements the paper's DL training case study (§4.4):
+// layer-graph definitions of the six networks in Tab. 1, an analytical
+// memory-footprint model (Fig. 13a), a Paleo/DeLTA-style throughput model
+// (Fig. 13b), and the Buddy-Compression batch-scaling projection (Fig. 13c).
+// The paper itself uses an analytical model for these projections because
+// trace-driven simulation cannot hold footprints beyond real GPU capacity;
+// we implement the same class of model from the published layer shapes.
+package dltrain
+
+// LayerKind classifies layers for the footprint and timing models.
+type LayerKind int
+
+// Layer kinds.
+const (
+	Conv LayerKind = iota
+	FC
+	Pool
+	LSTM
+	Embed
+)
+
+// Layer is one network layer with the shapes the models need.
+type Layer struct {
+	// Kind selects the cost model.
+	Kind LayerKind
+	// Name for reporting.
+	Name string
+	// For Conv: input channels, output channels, kernel size, output
+	// spatial size (H=W assumed square), stride already applied to OutHW.
+	InC, OutC, Kernel, OutHW int
+	// For FC/Embed: input and output dimensions.
+	InDim, OutDim int
+	// For LSTM: hidden and projection sizes.
+	Hidden, Proj int
+	// SeqLen for recurrent layers (time steps per sample).
+	SeqLen int
+}
+
+// Params returns the layer's parameter count.
+func (l Layer) Params() int64 {
+	switch l.Kind {
+	case Conv:
+		return int64(l.InC)*int64(l.OutC)*int64(l.Kernel)*int64(l.Kernel) + int64(l.OutC)
+	case FC:
+		return int64(l.InDim)*int64(l.OutDim) + int64(l.OutDim)
+	case Embed:
+		return int64(l.InDim) * int64(l.OutDim)
+	case LSTM:
+		// 4 gates x (input + recurrent) x hidden, with a projection.
+		in := int64(l.Proj)
+		return 4*(in+int64(l.Proj))*int64(l.Hidden) + int64(l.Hidden)*int64(l.Proj)
+	default:
+		return 0
+	}
+}
+
+// ActivationsPerSample returns the number of activation values one sample
+// produces at this layer (forward tensor; backward roughly doubles it).
+func (l Layer) ActivationsPerSample() int64 {
+	switch l.Kind {
+	case Conv, Pool:
+		return int64(l.OutC) * int64(l.OutHW) * int64(l.OutHW)
+	case FC:
+		seq := int64(1)
+		if l.SeqLen > 1 {
+			seq = int64(l.SeqLen)
+		}
+		return int64(l.OutDim) * seq
+	case Embed:
+		return int64(l.OutDim) * int64(l.SeqLen)
+	case LSTM:
+		// Hidden and projected states plus the four gate activations kept
+		// for backpropagation through time.
+		return (5*int64(l.Hidden) + int64(l.Proj)) * int64(l.SeqLen)
+	default:
+		return 0
+	}
+}
+
+// FLOPsPerSample returns the forward multiply-accumulate count for one
+// sample (backward costs ~2x forward; the throughput model applies that).
+func (l Layer) FLOPsPerSample() int64 {
+	switch l.Kind {
+	case Conv:
+		return 2 * int64(l.InC) * int64(l.OutC) * int64(l.Kernel) * int64(l.Kernel) *
+			int64(l.OutHW) * int64(l.OutHW)
+	case FC:
+		return 2 * int64(l.InDim) * int64(l.OutDim)
+	case Embed:
+		return 2 * int64(l.OutDim) * int64(l.SeqLen)
+	case LSTM:
+		return 2 * 4 * (int64(l.Proj) + int64(l.Proj)) * int64(l.Hidden) * int64(l.SeqLen)
+	case Pool:
+		return int64(l.OutC) * int64(l.OutHW) * int64(l.OutHW) * 4
+	default:
+		return 0
+	}
+}
+
+// Network is a named stack of layers.
+type Network struct {
+	// Name as used in Tab. 1.
+	Name string
+	// Layers in forward order.
+	Layers []Layer
+	// CompressionRatio is the Buddy Compression ratio the profiling pass
+	// achieves for this network (Fig. 7 final design); it scales the
+	// effective memory in the Fig. 13c projection.
+	CompressionRatio float64
+}
+
+func conv(name string, inC, outC, k, outHW int) Layer {
+	return Layer{Kind: Conv, Name: name, InC: inC, OutC: outC, Kernel: k, OutHW: outHW}
+}
+
+func pool(name string, c, outHW int) Layer {
+	return Layer{Kind: Pool, Name: name, OutC: c, OutHW: outHW}
+}
+
+func fc(name string, in, out int) Layer {
+	return Layer{Kind: FC, Name: name, InDim: in, OutDim: out}
+}
+
+// AlexNet: 5 convolutions and 3 very large fully-connected layers; the FC
+// parameters dominate, which is why its footprint transition point comes
+// late (batch 96, Fig. 13a).
+func AlexNet() *Network {
+	return &Network{
+		Name:             "AlexNet",
+		CompressionRatio: 1.43,
+		Layers: []Layer{
+			conv("conv1", 3, 96, 11, 55), pool("pool1", 96, 27),
+			conv("conv2", 96, 256, 5, 27), pool("pool2", 256, 13),
+			conv("conv3", 256, 384, 3, 13),
+			conv("conv4", 384, 384, 3, 13),
+			conv("conv5", 384, 256, 3, 13), pool("pool5", 256, 6),
+			fc("fc6", 256*6*6, 4096),
+			fc("fc7", 4096, 4096),
+			fc("fc8", 4096, 1000),
+		},
+	}
+}
+
+// VGG16: 13 convolutions + 3 FCs; both parameters and activations are huge.
+func VGG16() *Network {
+	return &Network{
+		Name:             "VGG16",
+		CompressionRatio: 1.86,
+		Layers: []Layer{
+			conv("conv1_1", 3, 64, 3, 224), conv("conv1_2", 64, 64, 3, 224), pool("pool1", 64, 112),
+			conv("conv2_1", 64, 128, 3, 112), conv("conv2_2", 128, 128, 3, 112), pool("pool2", 128, 56),
+			conv("conv3_1", 128, 256, 3, 56), conv("conv3_2", 256, 256, 3, 56),
+			conv("conv3_3", 256, 256, 3, 56), pool("pool3", 256, 28),
+			conv("conv4_1", 256, 512, 3, 28), conv("conv4_2", 512, 512, 3, 28),
+			conv("conv4_3", 512, 512, 3, 28), pool("pool4", 512, 14),
+			conv("conv5_1", 512, 512, 3, 14), conv("conv5_2", 512, 512, 3, 14),
+			conv("conv5_3", 512, 512, 3, 14), pool("pool5", 512, 7),
+			fc("fc6", 512*7*7, 4096), fc("fc7", 4096, 4096), fc("fc8", 4096, 1000),
+		},
+	}
+}
+
+// ResNet50 approximated by its bottleneck stages (the 3-layer blocks are
+// expanded to aggregate shapes; the footprint/throughput models only need
+// totals).
+func ResNet50() *Network {
+	n := &Network{Name: "ResNet50", CompressionRatio: 1.51}
+	n.Layers = append(n.Layers, conv("conv1", 3, 64, 7, 112), pool("pool1", 64, 56))
+	stage := func(name string, blocks, inC, midC, outC, hw int) {
+		for b := 0; b < blocks; b++ {
+			in := inC
+			if b > 0 {
+				in = outC
+			}
+			n.Layers = append(n.Layers,
+				conv(name+"_a", in, midC, 1, hw),
+				conv(name+"_b", midC, midC, 3, hw),
+				conv(name+"_c", midC, outC, 1, hw),
+			)
+		}
+	}
+	stage("res2", 3, 64, 64, 256, 56)
+	stage("res3", 4, 256, 128, 512, 28)
+	stage("res4", 6, 512, 256, 1024, 14)
+	stage("res5", 3, 1024, 512, 2048, 7)
+	n.Layers = append(n.Layers, fc("fc", 2048, 1000))
+	return n
+}
+
+// InceptionV2 approximated by aggregate mixed blocks.
+func InceptionV2() *Network {
+	return &Network{
+		Name:             "Inception_V2",
+		CompressionRatio: 1.51,
+		Layers: []Layer{
+			conv("conv1", 3, 64, 7, 112), pool("pool1", 64, 56),
+			conv("conv2", 64, 192, 3, 56), pool("pool2", 192, 28),
+			conv("mixed3a", 192, 256, 3, 28),
+			conv("mixed3b", 256, 320, 3, 28), pool("pool3", 320, 14),
+			conv("mixed4a", 320, 576, 3, 14),
+			conv("mixed4b", 576, 576, 3, 14),
+			conv("mixed4c", 576, 608, 3, 14), pool("pool4", 608, 7),
+			conv("mixed5a", 608, 1024, 3, 7),
+			conv("mixed5b", 1024, 1024, 3, 7),
+			fc("fc", 1024, 1000),
+		},
+	}
+}
+
+// SqueezeNet v1.1: fire modules keep parameters tiny; activations dominate.
+func SqueezeNet() *Network {
+	n := &Network{Name: "SqueezeNet", CompressionRatio: 1.48}
+	n.Layers = append(n.Layers, conv("conv1", 3, 64, 3, 111), pool("pool1", 64, 55))
+	fire := func(name string, in, squeeze, expand, hw int) {
+		n.Layers = append(n.Layers,
+			conv(name+"_s", in, squeeze, 1, hw),
+			conv(name+"_e1", squeeze, expand, 1, hw),
+			conv(name+"_e3", squeeze, expand, 3, hw),
+		)
+	}
+	fire("fire2", 64, 16, 64, 55)
+	fire("fire3", 128, 16, 64, 55)
+	n.Layers = append(n.Layers, pool("pool3", 128, 27))
+	fire("fire4", 128, 32, 128, 27)
+	fire("fire5", 256, 32, 128, 27)
+	n.Layers = append(n.Layers, pool("pool5", 256, 13))
+	fire("fire6", 256, 48, 192, 13)
+	fire("fire7", 384, 48, 192, 13)
+	fire("fire8", 384, 64, 256, 13)
+	fire("fire9", 512, 64, 256, 13)
+	n.Layers = append(n.Layers, conv("conv10", 512, 1000, 1, 13))
+	return n
+}
+
+// BigLSTM: 2-layer LSTM with 8192-wide recurrent state and 1024-d
+// projections over the English language model (§4.1); the embedding and
+// softmax layers dominate parameters.
+func BigLSTM() *Network {
+	const vocab = 150000 // scaled-down LM vocabulary (true model: 800k)
+	const seq = 35       // BPTT unroll length
+	return &Network{
+		Name:             "BigLSTM",
+		CompressionRatio: 1.54,
+		Layers: []Layer{
+			{Kind: Embed, Name: "embedding", InDim: vocab, OutDim: 1024, SeqLen: seq},
+			{Kind: LSTM, Name: "lstm1", Hidden: 8192, Proj: 1024, SeqLen: seq},
+			{Kind: LSTM, Name: "lstm2", Hidden: 8192, Proj: 1024, SeqLen: seq},
+			{Kind: FC, Name: "softmax", InDim: 1024, OutDim: vocab, SeqLen: seq},
+		},
+	}
+}
+
+// Networks returns the six DL training workloads of Tab. 1.
+func Networks() []*Network {
+	return []*Network{
+		BigLSTM(), AlexNet(), InceptionV2(), SqueezeNet(), VGG16(), ResNet50(),
+	}
+}
+
+// ByName looks a network up.
+func ByName(name string) (*Network, bool) {
+	for _, n := range Networks() {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// TotalParams sums the network's parameters.
+func (n *Network) TotalParams() int64 {
+	var p int64
+	for _, l := range n.Layers {
+		p += l.Params()
+	}
+	return p
+}
+
+// TotalActivationsPerSample sums per-sample activation values.
+func (n *Network) TotalActivationsPerSample() int64 {
+	var a int64
+	for _, l := range n.Layers {
+		a += l.ActivationsPerSample()
+	}
+	return a
+}
+
+// TotalFLOPsPerSample sums per-sample forward FLOPs.
+func (n *Network) TotalFLOPsPerSample() int64 {
+	var f int64
+	for _, l := range n.Layers {
+		f += l.FLOPsPerSample()
+	}
+	return f
+}

@@ -1,0 +1,60 @@
+package dram
+
+import "testing"
+
+func TestBandwidthServiceTime(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	perChan := cfg.BandwidthGBs / cfg.CoreClockGHz / float64(cfg.Channels)
+	done := h.Request(0, 0, 128)
+	want := 128/perChan + cfg.LatencyCycles
+	if done < want*0.999 || done > want*1.001 {
+		t.Errorf("service time %.2f, want %.2f", done, want)
+	}
+}
+
+func TestQueueingDelay(t *testing.T) {
+	h := New(DefaultConfig())
+	first := h.Request(0, 0, 4096)
+	second := h.Request(0, 0, 4096) // same channel: must queue
+	if second <= first {
+		t.Errorf("second request (%.1f) should finish after first (%.1f)", second, first)
+	}
+	// A different channel is independent.
+	other := h.Request(0, 256, 4096)
+	if other != first {
+		t.Errorf("independent channel should match first request's time: %.1f vs %.1f", other, first)
+	}
+}
+
+func TestChannelHash(t *testing.T) {
+	h := New(DefaultConfig())
+	if h.Channel(0) == h.Channel(256) {
+		t.Error("adjacent 256 B blocks should interleave to different channels")
+	}
+	if h.Channel(0) != h.Channel(255) {
+		t.Error("same 256 B block must map to one channel")
+	}
+}
+
+func TestDrainAndUtilization(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Drain(0, 0, 1<<20)
+	if h.TotalBytes != 1<<20 {
+		t.Errorf("TotalBytes = %d, want %d", h.TotalBytes, 1<<20)
+	}
+	if u := h.Utilization(1000); u <= 0 {
+		t.Error("utilization should be positive after traffic")
+	}
+	h.Reset()
+	if h.TotalBytes != 0 || h.Utilization(1000) != 0 {
+		t.Error("Reset should clear state")
+	}
+}
+
+func TestInvalidConfigFallsBack(t *testing.T) {
+	h := New(Config{})
+	if h.Request(0, 0, 128) <= 0 {
+		t.Error("zero config should fall back to defaults")
+	}
+}

@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"testing"
+
+	"buddy/internal/dltrain"
+)
+
+func TestFig12Shape(t *testing.T) {
+	rows := Fig12()
+	if len(rows) != 3 {
+		t.Fatalf("Fig. 12 uses three SpecAccel benchmarks, got %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-10s um=%v pinned=%.1f", r.Name, relSeries(r), r.Pinned)
+		// Fully resident run is the baseline.
+		if r.Points[0].RelativeRuntime > 1.01 {
+			t.Errorf("%s: 0%% oversubscription should run at ~1x, got %.2f",
+				r.Name, r.Points[0].RelativeRuntime)
+		}
+		// Runtime grows monotonically and dramatically (paper: log-scale
+		// axis up to 64x).
+		last := 0.0
+		for _, p := range r.Points {
+			if p.RelativeRuntime+1e-9 < last {
+				t.Errorf("%s: runtime decreased with more oversubscription", r.Name)
+			}
+			last = p.RelativeRuntime
+		}
+		if last < 2 {
+			t.Errorf("%s: 40%% oversubscription should hurt badly, got %.2fx", r.Name, last)
+		}
+		if r.Pinned <= 1 {
+			t.Errorf("%s: pinned-host mode must be slower than local, got %.2fx", r.Name, r.Pinned)
+		}
+	}
+	// Paper's observation: UM migration often does worse than pinning for
+	// irregular benchmarks — 360.ilbdc's UM line must cross its pinned line.
+	for _, r := range rows {
+		if r.Name != "360.ilbdc" {
+			continue
+		}
+		worst := r.Points[len(r.Points)-1].RelativeRuntime
+		if worst <= r.Pinned {
+			t.Errorf("360.ilbdc: UM at 40%% (%.1fx) should exceed pinned (%.1fx)", worst, r.Pinned)
+		}
+	}
+}
+
+func relSeries(r Fig12Row) []float64 {
+	var out []float64
+	for _, p := range r.Points {
+		out = append(out, float64(int(p.RelativeRuntime*10))/10)
+	}
+	return out
+}
+
+func TestFig13aShape(t *testing.T) {
+	rows := Fig13a()
+	byName := map[string]Fig13aRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Footprints grow monotonically with batch and eventually near-linearly.
+	for _, r := range rows {
+		for i := 1; i < len(r.Points); i++ {
+			if r.Points[i].Footprint <= r.Points[i-1].Footprint {
+				t.Errorf("%s: footprint must grow with batch", r.Name)
+			}
+		}
+	}
+	// AlexNet's parameters dominate: its footprint at batch 1 is a large
+	// share of its batch-96 footprint, unlike VGG16 whose activations
+	// dominate (the "later transition point", §4.4).
+	frac := func(name string) float64 {
+		r := byName[name]
+		var f1, f96 float64
+		for _, p := range r.Points {
+			if p.Batch == 1 {
+				f1 = float64(p.Footprint)
+			}
+			if p.Batch == 96 {
+				f96 = float64(p.Footprint)
+			}
+		}
+		return f1 / f96
+	}
+	if frac("AlexNet") <= frac("VGG16") {
+		t.Errorf("AlexNet's fixed share (%.2f) should exceed VGG16's (%.2f): later transition point",
+			frac("AlexNet"), frac("VGG16"))
+	}
+}
+
+func TestFig13bShape(t *testing.T) {
+	rows := Fig13b()
+	for _, r := range rows {
+		// Speedup grows with batch then plateaus: final step gain smaller
+		// than the first step gain.
+		p := r.Points
+		if len(p) < 3 {
+			t.Fatalf("%s: want >= 3 points", r.Name)
+		}
+		if p[1].Speedup <= p[0].Speedup {
+			t.Errorf("%s: speedup should grow from batch 16 to 32", r.Name)
+		}
+		firstGain := p[1].Speedup / p[0].Speedup
+		lastGain := p[len(p)-1].Speedup / p[len(p)-2].Speedup
+		if lastGain >= firstGain {
+			t.Errorf("%s: speedup should plateau (first gain %.3f, last gain %.3f)",
+				r.Name, firstGain, lastGain)
+		}
+	}
+}
+
+func TestFig13cShape(t *testing.T) {
+	res := Fig13c()
+	for _, r := range res.Rows {
+		t.Logf("%-14s base=%d compressed=%d speedup=%.2f", r.Name, r.BaseBatch, r.CompressedBatch, r.Speedup)
+		if r.CompressedBatch < r.BaseBatch {
+			t.Errorf("%s: compression must not shrink the feasible batch", r.Name)
+		}
+		if r.Speedup < 1.0 {
+			t.Errorf("%s: larger batch must not slow training, got %.2f", r.Name, r.Speedup)
+		}
+	}
+	t.Logf("mean speedup %.3f (paper ~1.14)", res.Mean)
+	if res.Mean < 1.05 || res.Mean > 1.35 {
+		t.Errorf("mean case-study speedup %.3f outside band around paper's 1.14", res.Mean)
+	}
+}
+
+func TestFig13dShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SGD training study")
+	}
+	cfg := DefaultFig13dConfig()
+	cfg.Epochs = 25
+	rows := Fig13d(cfg)
+	byBatch := map[int]Fig13dRow{}
+	var best float64
+	for _, r := range rows {
+		byBatch[r.Batch] = r
+		t.Logf("batch %3d: final=%.3f jitter=%.4f", r.Batch, r.Final, r.Jitter)
+		if r.Final > best {
+			best = r.Final
+		}
+	}
+	// Paper: 16/32 do not reach maximum accuracy; 64 does. (Our synthetic
+	// task shows the same ordering with a smaller absolute gap; see
+	// EXPERIMENTS.md.)
+	if byBatch[16].Final >= best-0.002 {
+		t.Errorf("batch 16 should under-converge: %.4f vs best %.4f", byBatch[16].Final, best)
+	}
+	if byBatch[64].Final < best-0.02 {
+		t.Errorf("batch 64 should approach best accuracy: %.4f vs %.4f", byBatch[64].Final, best)
+	}
+	// Paper: jitter is higher with small mini-batches (batch norm).
+	if byBatch[16].Jitter <= byBatch[256].Jitter {
+		t.Errorf("batch 16 jitter (%.4f) should exceed batch 256's (%.4f)",
+			byBatch[16].Jitter, byBatch[256].Jitter)
+	}
+}
+
+func TestNetworkInventory(t *testing.T) {
+	nets := dltrain.Networks()
+	if len(nets) != 6 {
+		t.Fatalf("want 6 networks, got %d", len(nets))
+	}
+	params := map[string]int64{}
+	for _, n := range nets {
+		params[n.Name] = n.TotalParams()
+	}
+	// Published parameter counts (approximate): AlexNet ~61M, VGG16 ~138M,
+	// ResNet50 ~25.5M, SqueezeNet ~1.2M.
+	checks := []struct {
+		name   string
+		lo, hi int64
+	}{
+		{"AlexNet", 55e6, 68e6},
+		{"VGG16", 125e6, 150e6},
+		{"ResNet50", 18e6, 32e6},
+		{"SqueezeNet", 0.8e6, 1.8e6},
+	}
+	for _, c := range checks {
+		if p := params[c.name]; p < c.lo || p > c.hi {
+			t.Errorf("%s params = %d, want within [%d, %d]", c.name, p, c.lo, c.hi)
+		}
+	}
+}

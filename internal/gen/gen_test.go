@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42, 7), NewRNG(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("RNG diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	a, b := NewRNG(42, 1), NewRNG(42, 3)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("streams should differ: %d collisions", same)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(1, 1)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	for i, c := range buckets {
+		if c < n/16*9/10 || c > n/16*11/10 {
+			t.Errorf("bucket %d count %d deviates >10%% from uniform", i, c)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(2, 1)
+	f := func(uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(3, 1)
+	var sum, sumSq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %.4f, want ~0", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Errorf("normal variance %.4f, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(4, 1)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p[:10])
+		}
+		seen[v] = true
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := []Generator{
+		Zeros{}, Ramp{Start: 5, Step: 3}, Noisy32{NoiseBits: 8},
+		Noisy64{NoiseBits: 8, HiStep: 1}, Random{},
+		Sparse32{Density: 0.4, Sigma: 1}, Weights32{Sigma: 0.1},
+		Stripe{A: Zeros{}, B: Random{}, PeriodEntries: 4, AEntries: 2},
+		Blend{A: Zeros{}, B: Random{}, PA: 0.5},
+	}
+	for _, g := range gens {
+		a := make([]byte, 1024)
+		b := make([]byte, 1024)
+		g.Fill(a, NewRNG(9, 2))
+		g.Fill(b, NewRNG(9, 2))
+		if string(a) != string(b) {
+			t.Errorf("%s: nondeterministic output", g.Name())
+		}
+	}
+}
+
+func TestZerosAndRandom(t *testing.T) {
+	buf := make([]byte, 512)
+	Random{}.Fill(buf, NewRNG(1, 1))
+	Zeros{}.Fill(buf, NewRNG(1, 1))
+	for _, v := range buf {
+		if v != 0 {
+			t.Fatal("Zeros left non-zero bytes")
+		}
+	}
+	Random{}.Fill(buf, NewRNG(1, 1))
+	nonzero := 0
+	for _, v := range buf {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 400 {
+		t.Errorf("Random output suspiciously sparse: %d non-zero of 512", nonzero)
+	}
+}
+
+func TestSparseDensity(t *testing.T) {
+	buf := make([]byte, 128*1000)
+	Sparse32{Density: 0.3, Sigma: 1}.Fill(buf, NewRNG(6, 1))
+	nonzeroWords := 0
+	for i := 0; i+4 <= len(buf); i += 4 {
+		if buf[i] != 0 || buf[i+1] != 0 || buf[i+2] != 0 || buf[i+3] != 0 {
+			nonzeroWords++
+		}
+	}
+	frac := float64(nonzeroWords) / float64(len(buf)/4)
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("density %.3f, want ~0.30", frac)
+	}
+}
+
+func TestStripePeriodicity(t *testing.T) {
+	buf := make([]byte, 128*8)
+	Stripe{A: Zeros{}, B: Random{}, PeriodEntries: 4, AEntries: 2}.Fill(buf, NewRNG(7, 1))
+	isZero := func(e int) bool {
+		for _, v := range buf[e*128 : (e+1)*128] {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for e := 0; e < 8; e++ {
+		wantZero := e%4 < 2
+		if isZero(e) != wantZero {
+			t.Errorf("entry %d: zero=%v, want %v", e, isZero(e), wantZero)
+		}
+	}
+}
+
+func TestWeightsQuantization(t *testing.T) {
+	buf := make([]byte, 128*100)
+	Weights32{Sigma: 0.1, QuantBits: 12}.Fill(buf, NewRNG(8, 1))
+	for i := 0; i+4 <= len(buf); i += 4 {
+		w := uint32(buf[i]) | uint32(buf[i+1])<<8 | uint32(buf[i+2])<<16 | uint32(buf[i+3])<<24
+		if w&0xFFF != 0 {
+			t.Fatalf("word %d has non-zero low quantized bits: %#x", i/4, w)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package gen synthesizes the byte-level memory contents of the paper's
+// workloads. The original study takes memory dumps of real GPU applications
+// (Tab. 1); those dumps are not available, so we generate data whose
+// 128-byte-granularity structure reproduces the compressibility behaviour the
+// paper reports (Fig. 3, Fig. 6): smooth floating-point fields for HPC grids,
+// struct-of-arrays stripes for FF_HPGMG, sparse ReLU activations and noisy
+// gradients for DL tensors, mostly-zero slabs, and incompressible pools.
+//
+// All generators are deterministic given a 64-bit seed (PCG-XSH-RR 64/32),
+// so every figure in the reproduction is bit-for-bit repeatable.
+package gen
+
+import "math"
+
+// RNG is a PCG-XSH-RR 64/32 pseudo-random generator. It is deliberately
+// implemented from scratch (stdlib-only constraint) and is deterministic
+// across platforms.
+type RNG struct {
+	state uint64
+	inc   uint64
+}
+
+const pcgMult = 6364136223846793005
+
+// NewRNG returns a generator seeded with seed on stream seq.
+func NewRNG(seed, seq uint64) *RNG {
+	r := &RNG{inc: seq<<1 | 1}
+	r.state = r.inc + seed
+	r.Uint32()
+	return r
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 {
+	old := r.state
+	r.state = old*pcgMult + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	return uint64(r.Uint32())<<32 | uint64(r.Uint32())
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("gen: Intn with non-positive n")
+	}
+	// Lemire-style rejection-free bound is overkill here; modulo bias is
+	// negligible for the n (< 2^20) used by the generators.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Perm fills a permutation of [0, n) deterministically.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent generator from r; the derived stream is a
+// pure function of r's current state, so splitting is itself deterministic.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64(), r.Uint64()|1)
+}

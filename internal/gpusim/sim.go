@@ -1,0 +1,414 @@
+package gpusim
+
+import (
+	"time"
+
+	"buddy/internal/cache"
+	"buddy/internal/core"
+	"buddy/internal/dram"
+	"buddy/internal/nvlink"
+	"buddy/internal/trace"
+)
+
+// warpState tracks one in-order warp's progress through its trace.
+type warpState struct {
+	id      int
+	sm      int
+	stream  *trace.Stream
+	readyAt float64
+	opsLeft int
+}
+
+// warpQueue is a 4-ary min-heap of warps keyed by readiness time, stored as
+// parallel contiguous arrays. It replaces container/heap, whose interface
+// indirection dominated the fast mode's profile; the event loop executes
+// hundreds of millions of pops on full-size runs.
+type warpQueue struct {
+	keys  []float64
+	items []*warpState
+}
+
+func (q *warpQueue) push(key float64, w *warpState) {
+	q.keys = append(q.keys, key)
+	q.items = append(q.items, w)
+	q.siftUp(len(q.keys) - 1)
+}
+
+func (q *warpQueue) len() int { return len(q.keys) }
+
+func (q *warpQueue) top() *warpState { return q.items[0] }
+
+// updateTop rewrites the minimum's key and restores heap order.
+func (q *warpQueue) updateTop(key float64) {
+	q.keys[0] = key
+	q.siftDown(0)
+}
+
+// popTop removes the minimum.
+func (q *warpQueue) popTop() {
+	n := len(q.keys) - 1
+	q.keys[0], q.items[0] = q.keys[n], q.items[n]
+	q.keys, q.items = q.keys[:n], q.items[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+}
+
+func (q *warpQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if q.keys[parent] <= q.keys[i] {
+			return
+		}
+		q.keys[parent], q.keys[i] = q.keys[i], q.keys[parent]
+		q.items[parent], q.items[i] = q.items[i], q.items[parent]
+		i = parent
+	}
+}
+
+func (q *warpQueue) siftDown(i int) {
+	n := len(q.keys)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.keys[c] < q.keys[min] {
+				min = c
+			}
+		}
+		if q.keys[i] <= q.keys[min] {
+			return
+		}
+		q.keys[i], q.keys[min] = q.keys[min], q.keys[i]
+		q.items[i], q.items[min] = q.items[min], q.items[i]
+		i = min
+	}
+}
+
+// machine bundles the shared memory system.
+type machine struct {
+	cfg    Config
+	mode   Mode
+	dm     *DataModel
+	l1     []*cache.Cache // per SM
+	l2     []*cache.Cache // per slice
+	meta   []*cache.Cache // per slice (Buddy mode)
+	mem    *dram.HBM2
+	link   *nvlink.Link
+	smBusy []float64 // per-SM issue-slot occupancy (1 instruction/cycle)
+	result Result
+}
+
+func newMachine(cfg Config, mode Mode, dm *DataModel) *machine {
+	m := &machine{cfg: cfg, mode: mode, dm: dm}
+	m.l1 = make([]*cache.Cache, cfg.SMs)
+	for i := range m.l1 {
+		m.l1[i] = cache.New(cfg.L1Bytes, cfg.L1Ways, 128)
+	}
+	m.l2 = make([]*cache.Cache, cfg.L2Slices)
+	perSlice := cfg.L2Bytes / cfg.L2Slices
+	for i := range m.l2 {
+		m.l2[i] = cache.New(perSlice, cfg.L2Ways, 128)
+	}
+	if mode == ModeBuddy {
+		m.meta = make([]*cache.Cache, cfg.L2Slices)
+		for i := range m.meta {
+			m.meta[i] = cache.New(cfg.MetaCacheBytesPerSlice, cfg.MetaCacheWays, core.MetadataLineBytes)
+		}
+	}
+	m.mem = dram.New(cfg.DRAM)
+	m.link = nvlink.New(cfg.Link)
+	m.smBusy = make([]float64, cfg.SMs)
+	return m
+}
+
+// issue reserves the SM's issue slots for one memory operation and its
+// accompanying compute instructions (1/MemRatio instructions at one per
+// cycle), returning the time the memory access actually issues. This is the
+// machine's compute-throughput constraint; without it every workload
+// saturates DRAM bandwidth.
+func (m *machine) issue(sm int, ready, instrPerOp float64) float64 {
+	start := ready
+	if m.smBusy[sm] > start {
+		start = m.smBusy[sm]
+	}
+	m.smBusy[sm] = start + instrPerOp
+	return start + instrPerOp
+}
+
+func (m *machine) l2Slice(addr uint64) int {
+	return int((addr >> 7) % uint64(len(m.l2)))
+}
+
+// l2SliceAccess looks up a line in its slice. The slice-local address drops
+// the slice-selection bits so slice caches index all their sets (slice id
+// and set index would otherwise alias on the same low line bits).
+func (m *machine) l2SliceAccess(line uint64) bool {
+	slice := m.l2Slice(line)
+	local := (line >> 7) / uint64(len(m.l2)) << 7
+	return m.l2[slice].Access(local)
+}
+
+// metaAccess models the metadata-cache lookup for the entry at addr; it
+// returns the completion time of the metadata fetch (issue time on a hit).
+// Metadata lines are interleaved across slices by their own line address —
+// the same hashing as regular physical interleaving (§3.2) — so one line's
+// 64 entries always consult the same slice.
+func (m *machine) metaAccess(now float64, addr uint64) float64 {
+	metaAddr := addr >> 7 * core.MetadataBitsPerEntry / 8
+	metaLine := metaAddr / core.MetadataLineBytes
+	slice := int(metaLine % uint64(len(m.meta)))
+	local := metaLine / uint64(len(m.meta)) * core.MetadataLineBytes
+	if m.meta[slice].Access(local) {
+		m.result.MetaHits++
+		return now
+	}
+	m.result.MetaMisses++
+	m.result.DRAMBytes += core.MetadataLineBytes
+	return m.mem.Request(now, metaAddr, core.MetadataLineBytes)
+}
+
+// load returns the completion time of a warp load issued at time now.
+func (m *machine) load(now float64, sm int, a trace.Access, host bool) float64 {
+	reqBytes := trace.SectorCount(a.SectorMask) * 32
+	if host {
+		// Native host-memory access (FF_HPGMG): over the link in every
+		// mode, including the ideal baseline.
+		m.result.LinkReadBytes += uint64(reqBytes)
+		return m.link.Request(now, nvlink.Read, reqBytes)
+	}
+	line := a.Addr &^ 127
+	if m.l1[sm].Access(line) {
+		m.result.L1Hits++
+		return now + m.cfg.L1LatencyCycles
+	}
+	afterL2 := now + m.cfg.L2LatencyCycles
+	if m.l2SliceAccess(line) {
+		m.result.L2Hits++
+		return afterL2
+	}
+
+	switch m.mode {
+	case ModeIdeal:
+		m.result.DRAMBytes += uint64(reqBytes)
+		return m.mem.Request(afterL2, line, reqBytes)
+
+	case ModeBWOnly:
+		sectors, _ := m.dm.Lookup(line)
+		if sectors >= 4 {
+			// Incompressible entries stay raw: sector-granular fetch,
+			// no decompression.
+			m.result.DRAMBytes += uint64(reqBytes)
+			return m.mem.Request(afterL2, line, reqBytes)
+		}
+		// Compressed entries transfer whole (minimum one sector) and fill
+		// the full 128 B line: over-fetch for fine-grained accesses,
+		// fewer packets for streaming ones (§4.2).
+		stored := sectors
+		if stored == 0 {
+			stored = 1
+		}
+		bytes := stored * 32
+		m.result.DRAMBytes += uint64(bytes)
+		return m.mem.Request(afterL2, line, bytes) + m.cfg.DecompressLatencyCycles
+
+	default: // ModeBuddy
+		sectors, target := m.dm.Lookup(line)
+		metaDone := m.metaAccess(afterL2, line)
+		if sectors >= 4 {
+			// Uncompressed entry: sector-granular fetch, no decompression;
+			// requested sectors beyond the device budget live in the
+			// entry's fixed buddy slot.
+			req := trace.SectorCount(a.SectorMask)
+			devSec := req
+			if devSec > target.DeviceSectors() {
+				devSec = target.DeviceSectors()
+			}
+			overSec := req - devSec
+			done := afterL2
+			if devSec > 0 {
+				m.result.DRAMBytes += uint64(devSec * 32)
+				done = m.mem.Request(afterL2, line, devSec*32)
+			}
+			if done < metaDone {
+				done = metaDone
+			}
+			if overSec > 0 {
+				m.result.BuddyAccesses++
+				m.result.LinkReadBytes += uint64(overSec * 32)
+				if bd := m.link.Request(metaDone, nvlink.Read, overSec*32); bd > done {
+					done = bd
+				}
+			}
+			return done
+		}
+		// Compressed entry: transferred whole (full-line L2 fill), with
+		// overflow sectors from the buddy slot. Metadata resolves in
+		// parallel with device data (§3.4); the buddy access issues only
+		// once metadata is known.
+		over := target.OverflowSectors(sectors)
+		devBytes := (sectors - over) * 32
+		if target == core.Target16x {
+			devBytes = 8
+		} else if sectors == 0 {
+			devBytes = 32 // minimum one-sector device access
+		}
+		var done float64
+		if devBytes > 0 {
+			m.result.DRAMBytes += uint64(devBytes)
+			done = m.mem.Request(afterL2, line, devBytes)
+		} else {
+			done = afterL2
+		}
+		if done < metaDone {
+			done = metaDone
+		}
+		if over > 0 {
+			m.result.BuddyAccesses++
+			m.result.LinkReadBytes += uint64(over * 32)
+			if bd := m.link.Request(metaDone, nvlink.Read, over*32); bd > done {
+				done = bd
+			}
+		}
+		return done + m.cfg.DecompressLatencyCycles
+	}
+}
+
+// store models a write: caches are updated for recency, and write-back
+// bandwidth is drained asynchronously; the warp only pays a store-buffer
+// latency.
+func (m *machine) store(now float64, sm int, a trace.Access, host bool) float64 {
+	reqBytes := trace.SectorCount(a.SectorMask) * 32
+	if host {
+		m.result.LinkWriteBytes += uint64(reqBytes)
+		m.link.Drain(now, nvlink.Write, reqBytes)
+		return now + m.cfg.StoreLatencyCycles
+	}
+	line := a.Addr &^ 127
+	m.l1[sm].Access(line)
+	m.l2SliceAccess(line)
+
+	switch m.mode {
+	case ModeIdeal:
+		m.result.DRAMBytes += uint64(reqBytes)
+		m.mem.Drain(now, line, reqBytes)
+	case ModeBWOnly:
+		sectors, _ := m.dm.Lookup(line)
+		bytes := storedBytes(sectors)
+		m.result.DRAMBytes += uint64(bytes)
+		m.mem.Drain(now, line, bytes)
+	default:
+		sectors, target := m.dm.Lookup(line)
+		m.metaAccess(now, line) // metadata is read-modify-written on size change
+		var over int
+		var devBytes int
+		if sectors >= 4 {
+			req := trace.SectorCount(a.SectorMask)
+			devSec := req
+			if devSec > target.DeviceSectors() {
+				devSec = target.DeviceSectors()
+			}
+			over = req - devSec
+			devBytes = devSec * 32
+		} else {
+			over = target.OverflowSectors(sectors)
+			devBytes = (sectors - over) * 32
+			if target == core.Target16x {
+				devBytes = 8
+			} else if sectors == 0 {
+				devBytes = 32
+			}
+		}
+		m.result.DRAMBytes += uint64(devBytes)
+		m.mem.Drain(now, line, devBytes)
+		if over > 0 {
+			m.result.BuddyAccesses++
+			m.result.LinkWriteBytes += uint64(over * 32)
+			m.link.Drain(now, nvlink.Write, over*32)
+		}
+	}
+	return now + m.cfg.StoreLatencyCycles
+}
+
+func storedBytes(sectors int) int {
+	if sectors == 0 {
+		return 32
+	}
+	return sectors * 32
+}
+
+// activeWarps applies the kernel's occupancy to the machine's warp slots.
+func activeWarps(spec trace.Spec, cfg Config) int {
+	n := cfg.WarpsPerSM
+	if spec.Occupancy > 0 && spec.Occupancy < 1 {
+		n = int(float64(n) * spec.Occupancy)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Run executes the fast event-driven simulation of spec under the given
+// memory mode and returns timing and traffic statistics.
+func Run(spec trace.Spec, dm *DataModel, mode Mode, cfg Config) Result {
+	start := time.Now()
+	m := newMachine(cfg, mode, dm)
+	warpsPerSM := activeWarps(spec, cfg)
+	var q warpQueue
+	footprint := dm.footprint
+	for sm := 0; sm < cfg.SMs; sm++ {
+		for w := 0; w < warpsPerSM; w++ {
+			id := sm*warpsPerSM + w
+			q.push(0, &warpState{
+				id:      id,
+				sm:      sm,
+				stream:  trace.NewStream(spec, footprint, 1234, id),
+				opsLeft: cfg.OpsPerWarp,
+			})
+		}
+	}
+
+	instrPerOp := 1.0
+	if spec.MemRatio > 0 {
+		instrPerOp = 1 / spec.MemRatio
+	}
+	var lastCycle float64
+	for q.len() > 0 {
+		w := q.top()
+		host := w.stream.IsHostAccess()
+		a := w.stream.Next()
+		// The warp is ready after its dependent compute latency; the SM's
+		// single issue port then serializes this op's instructions.
+		depReady := w.readyAt + float64(a.ComputeCycles)
+		issue := m.issue(w.sm, depReady, instrPerOp)
+		var done float64
+		if a.Store {
+			done = m.store(issue, w.sm, a, host)
+		} else {
+			done = m.load(issue, w.sm, a, host)
+		}
+		m.result.MemAccesses++
+		m.result.Instructions += uint64(instrPerOp)
+		if done > lastCycle {
+			lastCycle = done
+		}
+		w.opsLeft--
+		if w.opsLeft == 0 {
+			q.popTop()
+		} else {
+			w.readyAt = done
+			q.updateTop(done)
+		}
+	}
+	m.result.Cycles = lastCycle
+	m.result.WallClockSeconds = time.Since(start).Seconds()
+	return m.result
+}

@@ -1,0 +1,136 @@
+// Package heatmap renders the spatial compressibility plots of Fig. 6: one
+// row per 8 KB page (64 memory-entries along x), pages stacked by address,
+// colour = per-entry compressed size. Output formats are ASCII art (for
+// terminals and tests) and PGM (a stdlib-friendly grayscale image format).
+package heatmap
+
+import (
+	"fmt"
+	"strings"
+
+	"buddy/internal/compress"
+	"buddy/internal/memory"
+)
+
+// Map holds per-entry compressed sector counts arranged by page.
+type Map struct {
+	// Name labels the map (benchmark name in Fig. 6).
+	Name string
+	// Rows[page][entryInPage] is the compressed sector count (0..4).
+	Rows [][]uint8
+}
+
+// Build computes the compressibility map of a snapshot under compressor c,
+// concatenating allocations in address order exactly as the paper lays the
+// virtual address space vertically.
+func Build(name string, s *memory.Snapshot, c compress.Compressor) *Map {
+	m := &Map{Name: name}
+	row := make([]uint8, 0, memory.EntriesPerPage)
+	for _, a := range s.Allocations {
+		n := a.Entries()
+		for i := 0; i < n; i++ {
+			row = append(row, uint8(compress.SectorsNeeded(c, a.Entry(i))))
+			if len(row) == memory.EntriesPerPage {
+				m.Rows = append(m.Rows, row)
+				row = make([]uint8, 0, memory.EntriesPerPage)
+			}
+		}
+	}
+	if len(row) > 0 {
+		for len(row) < memory.EntriesPerPage {
+			row = append(row, 0)
+		}
+		m.Rows = append(m.Rows, row)
+	}
+	return m
+}
+
+// glyphs maps sector counts to ASCII intensity: cold (compressible) to hot.
+var glyphs = [5]byte{' ', '.', ':', 'x', '#'}
+
+// ASCII renders the map as text, optionally downsampling rows to maxRows
+// (0 keeps all rows). Downsampling takes the maximum (hottest) sector count
+// in each bucket so incompressible stripes stay visible.
+func (m *Map) ASCII(maxRows int) string {
+	rows := m.Rows
+	if maxRows > 0 && len(rows) > maxRows {
+		rows = downsample(rows, maxRows)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d pages; ' '=zero-page  '.'=1  ':'=2  'x'=3  '#'=4 sectors)\n",
+		m.Name, len(m.Rows))
+	for _, r := range rows {
+		line := make([]byte, len(r))
+		for i, v := range r {
+			if v > 4 {
+				v = 4
+			}
+			line[i] = glyphs[v]
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func downsample(rows [][]uint8, maxRows int) [][]uint8 {
+	out := make([][]uint8, maxRows)
+	for o := 0; o < maxRows; o++ {
+		lo := o * len(rows) / maxRows
+		hi := (o + 1) * len(rows) / maxRows
+		if hi <= lo {
+			hi = lo + 1
+		}
+		agg := make([]uint8, len(rows[0]))
+		for r := lo; r < hi && r < len(rows); r++ {
+			for i, v := range rows[r] {
+				if v > agg[i] {
+					agg[i] = v
+				}
+			}
+		}
+		out[o] = agg
+	}
+	return out
+}
+
+// PGM renders the map as a binary-free plain PGM (P2) grayscale image:
+// 0 (black) = incompressible, 255 (white) = zero-page. Viewers render it
+// like the paper's heat-map with inverted palette.
+func (m *Map) PGM() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P2\n%d %d\n255\n", memory.EntriesPerPage, len(m.Rows))
+	for _, r := range m.Rows {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			if v > 4 {
+				v = 4
+			}
+			fmt.Fprintf(&b, "%d", 255-int(v)*63)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HomogeneityIndex quantifies spatial clustering of compressibility: the
+// fraction of horizontally adjacent entry pairs with equal sector counts.
+// HPC workloads score high (large same-colour regions); DL workloads score
+// lower (salt-and-pepper), matching the paper's Fig. 6 observation.
+func (m *Map) HomogeneityIndex() float64 {
+	var same, total int
+	for _, r := range m.Rows {
+		for i := 1; i < len(r); i++ {
+			total++
+			if r[i] == r[i-1] {
+				same++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(same) / float64(total)
+}

@@ -1,0 +1,71 @@
+package heatmap
+
+import (
+	"strings"
+	"testing"
+
+	"buddy/internal/compress"
+	"buddy/internal/gen"
+	"buddy/internal/memory"
+)
+
+func buildSnapshot() *memory.Snapshot {
+	s := &memory.Snapshot{}
+	a := memory.NewAllocation("zeros", 2*memory.PageBytes)
+	b := memory.NewAllocation("random", 2*memory.PageBytes)
+	gen.Random{}.Fill(b.Data, gen.NewRNG(1, 1))
+	s.Allocations = []*memory.Allocation{a, b}
+	return s
+}
+
+func TestBuildDimensions(t *testing.T) {
+	m := Build("test", buildSnapshot(), compress.NewBPC())
+	if len(m.Rows) != 4 {
+		t.Fatalf("want 4 page rows, got %d", len(m.Rows))
+	}
+	for _, r := range m.Rows {
+		if len(r) != memory.EntriesPerPage {
+			t.Fatalf("row width %d, want %d", len(r), memory.EntriesPerPage)
+		}
+	}
+	// First two pages all zero-page class, last two all raw.
+	for i := 0; i < memory.EntriesPerPage; i++ {
+		if m.Rows[0][i] != 0 {
+			t.Fatal("zero allocation should map to sector count 0")
+		}
+		if m.Rows[3][i] != 4 {
+			t.Fatal("random allocation should map to sector count 4")
+		}
+	}
+}
+
+func TestASCIIDownsampleKeepsHotRows(t *testing.T) {
+	m := Build("test", buildSnapshot(), compress.NewBPC())
+	art := m.ASCII(2)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[2], "#") {
+		t.Error("downsampled hot row lost its incompressible marker")
+	}
+}
+
+func TestPGMFormat(t *testing.T) {
+	m := Build("test", buildSnapshot(), compress.NewBPC())
+	pgm := m.PGM()
+	if !strings.HasPrefix(pgm, "P2\n64 4\n255\n") {
+		t.Errorf("bad PGM header: %q", pgm[:20])
+	}
+}
+
+func TestHomogeneityIndex(t *testing.T) {
+	m := Build("test", buildSnapshot(), compress.NewBPC())
+	if h := m.HomogeneityIndex(); h != 1 {
+		t.Errorf("uniform rows should be fully homogeneous, got %.3f", h)
+	}
+	mixed := &Map{Rows: [][]uint8{{0, 4, 0, 4}}}
+	if h := mixed.HomogeneityIndex(); h != 0 {
+		t.Errorf("alternating row should be fully heterogeneous, got %.3f", h)
+	}
+}

@@ -1,0 +1,73 @@
+package memory
+
+import (
+	"testing"
+
+	"buddy/internal/compress"
+	"buddy/internal/gen"
+)
+
+func TestNewAllocationAlignment(t *testing.T) {
+	a := NewAllocation("x", 100) // rounds up to one entry
+	if len(a.Data) != EntryBytes {
+		t.Errorf("size %d, want %d", len(a.Data), EntryBytes)
+	}
+	if a.Entries() != 1 || a.Pages() != 1 {
+		t.Errorf("entries=%d pages=%d", a.Entries(), a.Pages())
+	}
+	b := NewAllocation("y", PageBytes+1)
+	if b.Pages() != 2 {
+		t.Errorf("pages=%d, want 2", b.Pages())
+	}
+}
+
+func TestSnapshotValidate(t *testing.T) {
+	s := &Snapshot{Allocations: []*Allocation{
+		NewAllocation("a", 256), NewAllocation("b", 256),
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Allocations = append(s.Allocations, NewAllocation("a", 128))
+	if err := s.Validate(); err == nil {
+		t.Error("duplicate names should fail validation")
+	}
+	bad := &Snapshot{Allocations: []*Allocation{{Name: "z", Data: make([]byte, 100)}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unaligned allocation should fail validation")
+	}
+}
+
+func TestFindAndTotals(t *testing.T) {
+	s := &Snapshot{Allocations: []*Allocation{
+		NewAllocation("a", 1024), NewAllocation("b", 2048),
+	}}
+	if s.Find("b") == nil || s.Find("c") != nil {
+		t.Error("Find broken")
+	}
+	if s.TotalBytes() != 3072 || s.TotalEntries() != 24 {
+		t.Errorf("totals: %d bytes, %d entries", s.TotalBytes(), s.TotalEntries())
+	}
+}
+
+func TestCompressionRatioBounds(t *testing.T) {
+	bpc := compress.NewBPC()
+	zero := &Snapshot{Allocations: []*Allocation{NewAllocation("z", 8192)}}
+	if r := CompressionRatio(zero, bpc, compress.OptimisticSizes); r < 16 {
+		t.Errorf("all-zero snapshot ratio %.1f, want very high", r)
+	}
+	rnd := &Snapshot{Allocations: []*Allocation{NewAllocation("r", 8192)}}
+	gen.Random{}.Fill(rnd.Allocations[0].Data, gen.NewRNG(1, 1))
+	if r := CompressionRatio(rnd, bpc, compress.OptimisticSizes); r < 0.99 || r > 1.01 {
+		t.Errorf("random snapshot ratio %.3f, want 1.0", r)
+	}
+}
+
+func TestSectorHistogram(t *testing.T) {
+	a := NewAllocation("m", 128*4)
+	gen.Random{}.Fill(a.Data[:256], gen.NewRNG(2, 1)) // entries 0-1 raw, 2-3 zero
+	h := SectorHistogram(a, compress.NewBPC())
+	if h[4] != 2 || h[0] != 2 {
+		t.Errorf("histogram %v, want 2 raw + 2 zero-page", h)
+	}
+}

@@ -1,0 +1,60 @@
+package nvlink
+
+// The paper's Fig. 2 lists three buddy-storage alternatives reachable over
+// the interconnect: host-CPU memory (e.g. a Power9's system DRAM), unused
+// peer-GPU memory behind the NVSwitch, and a future disaggregated memory
+// appliance. "As long as the remote memory sources operate at the full
+// NVLink2 bandwidth, Buddy Compression applies equally well" (§2.3) — the
+// alternatives differ only in access latency and attainable bandwidth,
+// which these presets encode for the simulator's sweeps.
+
+// StorageKind identifies a buddy-storage backend.
+type StorageKind int
+
+// Buddy-storage alternatives from Fig. 2.
+const (
+	// HostCPU is NVLink-attached host memory (Power9-class; the paper's
+	// default target system).
+	HostCPU StorageKind = iota
+	// PeerGPU is unused memory of a peer GPU behind the NVSwitch: the
+	// same 150 GB/s bricks with one extra switch hop, and the peer's HBM2
+	// serves requests with GPU-local latency.
+	PeerGPU
+	// Disaggregated is a memory appliance on the switch fabric: full link
+	// bandwidth but the longest path.
+	Disaggregated
+)
+
+// String implements fmt.Stringer.
+func (k StorageKind) String() string {
+	switch k {
+	case HostCPU:
+		return "host-cpu"
+	case PeerGPU:
+		return "peer-gpu"
+	default:
+		return "disaggregated"
+	}
+}
+
+// StorageConfig returns the link configuration for a buddy-storage backend
+// at the given per-direction bandwidth in GB/s (the Fig. 11 sweep variable).
+func StorageConfig(kind StorageKind, bandwidthGBs float64) Config {
+	cfg := DefaultConfig()
+	cfg.BandwidthGBs = bandwidthGBs
+	switch kind {
+	case PeerGPU:
+		// One NVSwitch hop plus the peer's HBM2 access: lower latency than
+		// a CPU memory controller round trip.
+		cfg.LatencyCycles = 550
+	case Disaggregated:
+		// Switch fabric plus appliance controller: the longest path.
+		cfg.LatencyCycles = 900
+	default:
+		cfg.LatencyCycles = 700
+	}
+	return cfg
+}
+
+// StorageKinds lists the Fig. 2 alternatives.
+func StorageKinds() []StorageKind { return []StorageKind{HostCPU, PeerGPU, Disaggregated} }

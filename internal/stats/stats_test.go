@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanGMean(t *testing.T) {
+	if Mean(nil) != 0 || GMean(nil) != 0 {
+		t.Error("empty inputs should return 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Error("mean broken")
+	}
+	if !almostEq(GMean([]float64{1, 4}), 2, 1e-12) {
+		t.Error("gmean broken")
+	}
+	// GMean <= Mean (AM-GM) for positive inputs.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEq(Variance(xs), 4, 1e-12) {
+		t.Errorf("variance = %f, want 4", Variance(xs))
+	}
+	if !almostEq(StdDev(xs), 2, 1e-12) {
+		t.Errorf("stddev = %f, want 2", StdDev(xs))
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if r, err := Pearson(xs, []float64{2, 4, 6, 8}); err != nil || !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfect correlation: r=%f err=%v", r, err)
+	}
+	if r, _ := Pearson(xs, []float64{8, 6, 4, 2}); !almostEq(r, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation: r=%f", r)
+	}
+	if _, err := Pearson(xs, xs[:2]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample should error")
+	}
+}
+
+func TestLinReg(t *testing.T) {
+	a, b, err := LinReg([]float64{0, 1, 2}, []float64{1, 3, 5})
+	if err != nil || !almostEq(a, 1, 1e-12) || !almostEq(b, 2, 1e-12) {
+		t.Errorf("fit y=1+2x: a=%f b=%f err=%v", a, b, err)
+	}
+	if _, _, err := LinReg([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero x-variance should error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	for p, want := range map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2} {
+		if got, err := Percentile(xs, p); err != nil || !almostEq(got, want, 1e-12) {
+			t.Errorf("P%.0f = %f, want %f (err %v)", p, got, want, err)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty percentile should error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0.5, 3, 7, 11} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+	// Bucket width 2: -1 clamps to 0, 0.5 -> 0, 3 -> 1, 7 -> 3, 11 clamps to 4.
+	want := []uint64{2, 1, 0, 1, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], c)
+		}
+	}
+	if !almostEq(h.Fraction(0), 0.4, 1e-12) {
+		t.Errorf("fraction = %f", h.Fraction(0))
+	}
+	if !almostEq(h.CumulativeFraction(4), 1, 1e-12) {
+		t.Errorf("cumulative = %f", h.CumulativeFraction(4))
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != 2 || Ratio(1, 0) != 0 {
+		t.Error("Ratio broken")
+	}
+}

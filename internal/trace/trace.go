@@ -1,0 +1,207 @@
+// Package trace produces the synthetic per-warp memory access traces that
+// drive the performance simulator. The paper collects dependency-driven
+// traces of 1-9 billion warp instructions from real benchmark executions
+// (§4.1); we have no GPU, so each benchmark is characterized by a Spec whose
+// parameters (memory intensity, coalescing, locality, streaming vs.
+// irregular access, native host traffic) reproduce the first-order behaviour
+// that determines the paper's Fig. 11 results.
+package trace
+
+import "buddy/internal/gen"
+
+// Spec characterizes a benchmark's memory access behaviour.
+type Spec struct {
+	// Name of the benchmark this spec belongs to.
+	Name string
+	// MemRatio is the fraction of warp instructions that access memory.
+	// Memory-bound GPU kernels sit around 0.2-0.4.
+	MemRatio float64
+	// SectorsPerAccess is the average number of 32 B sectors touched by one
+	// coalesced warp access (4 = fully coalesced streaming, 1 = scattered
+	// single-sector access, the pattern that makes bandwidth compression
+	// hurt 354.cg and 360.ilbdc, §4.2).
+	SectorsPerAccess int
+	// Streaming selects sequential address generation; otherwise addresses
+	// are drawn from a power-law reuse distribution over the working set.
+	Streaming bool
+	// WorkingSetFrac is the fraction of the footprint actively accessed.
+	WorkingSetFrac float64
+	// WriteFrac is the fraction of memory accesses that are stores.
+	WriteFrac float64
+	// HostFrac is the fraction of accesses that natively go to host memory
+	// (FF_HPGMG performs synchronous host copies, §4.2).
+	HostFrac float64
+	// ComputeIntensity is the mean compute cycles between memory
+	// instructions of one warp (models ILP/arith density).
+	ComputeIntensity float64
+	// Locality is the probability that an access re-touches a recently
+	// used cache line (drives L1/L2 hit rates).
+	Locality float64
+	// PageRun is the probability that an irregular access stays within
+	// the previously touched 8 KB page (sparse kernels process rows and
+	// blocks). Page runs are what give the metadata cache its locality —
+	// one 32 B metadata line covers one page — so benchmarks with low
+	// PageRun (351.palm, 355.seismic) are Fig. 5b's outliers.
+	PageRun float64
+	// Occupancy is the fraction of the SM's warp slots the kernel can
+	// fill (register/shared-memory limits). Low-occupancy kernels
+	// (351.palm, 355.seismic, FF_Lulesh) hide less latency, which is what
+	// exposes metadata-miss and decompression latency in Fig. 11.
+	// Zero means full occupancy.
+	Occupancy float64
+}
+
+// Access is one warp-level memory access.
+type Access struct {
+	// Addr is the entry-aligned byte address within the footprint.
+	Addr uint64
+	// SectorMask marks which of the four 32 B sectors are touched.
+	SectorMask uint8
+	// Store marks writes.
+	Store bool
+	// ComputeCycles is the compute delay the issuing warp incurs before
+	// this access.
+	ComputeCycles uint16
+}
+
+// Stream deterministically produces the access sequence of one warp.
+type Stream struct {
+	spec      Spec
+	rng       *gen.RNG
+	footprint uint64
+	cursor    uint64
+	curPage   uint64
+	hasPage   bool
+	recent    [16]uint64
+	recentN   int
+}
+
+// NewStream creates a per-warp access stream. footprint is the benchmark's
+// (scaled) footprint in bytes; warp gives each warp a distinct but
+// deterministic address phase and RNG stream.
+func NewStream(spec Spec, footprint uint64, seed uint64, warp int) *Stream {
+	if footprint < 128 {
+		footprint = 128
+	}
+	s := &Stream{
+		spec:      spec,
+		rng:       gen.NewRNG(seed, uint64(warp)*2+1),
+		footprint: footprint &^ 127,
+	}
+	// Streaming warps are phased in CTA-sized clusters: warps of one
+	// cluster stream adjacent 128 B lines (coalesced thread blocks tile
+	// contiguous data), while clusters scatter multiplicatively across the
+	// footprint. This matches how real grids map onto SMs and is what
+	// gives the 32 B-line metadata cache its 63/64 streaming hit rate.
+	entries := s.footprint / 128
+	cluster := uint64(warp / ctaCluster)
+	within := uint64(warp % ctaCluster)
+	s.cursor = ((cluster*2654435761 + within) % entries) * 128
+	return s
+}
+
+// ctaCluster is the number of warps that stream one contiguous tile.
+const ctaCluster = 64
+
+// pageBytes is the page granularity of irregular access clustering.
+const pageBytes = 8192
+
+func (s *Stream) workingSet() uint64 {
+	ws := uint64(float64(s.footprint) * s.spec.WorkingSetFrac)
+	if ws < 4096 {
+		ws = 4096
+	}
+	if ws > s.footprint {
+		ws = s.footprint
+	}
+	return ws &^ 127
+}
+
+// Next returns the warp's next access.
+func (s *Stream) Next() Access {
+	var a Access
+	// Compute gap: geometric-ish around ComputeIntensity.
+	ci := s.spec.ComputeIntensity
+	if ci <= 0 {
+		ci = 4
+	}
+	a.ComputeCycles = uint16(1 + s.rng.Intn(int(2*ci)))
+
+	if s.spec.Locality > 0 && s.recentN > 0 && s.rng.Float64() < s.spec.Locality {
+		a.Addr = s.recent[s.rng.Intn(s.recentN)]
+	} else if s.spec.Streaming {
+		a.Addr = s.cursor
+		// The whole CTA cluster advances one 8 KB wavefront per step, each
+		// warp owning a distinct 128 B line within it.
+		s.cursor = (s.cursor + ctaCluster*128) % s.workingSet()
+	} else {
+		// Irregular access: a power-law over 8 KB pages (the square
+		// transform produces a heavy head of hot pages, scattered across
+		// all allocations by spread) with a random entry within the page.
+		// Page-level clustering is what real sparse kernels retain and is
+		// what gives the metadata cache its locality (one 32 B metadata
+		// line covers one 8 KB page).
+		ws := s.workingSet()
+		pages := ws / pageBytes
+		if pages == 0 {
+			pages = 1
+		}
+		pageIdx := s.curPage
+		if !s.hasPage || s.rng.Float64() >= s.spec.PageRun {
+			u := s.rng.Float64()
+			pageIdx = uint64(u*u*float64(pages)) * 2654435761 % pages
+			s.curPage, s.hasPage = pageIdx, true
+		}
+		a.Addr = pageIdx*pageBytes + uint64(s.rng.Intn(int(pageBytes/128)))*128
+	}
+	s.remember(a.Addr)
+
+	switch n := s.sectorsThisAccess(); n {
+	case 4:
+		a.SectorMask = 0xF
+	case 3:
+		a.SectorMask = 0x7
+	case 2:
+		a.SectorMask = 0x3
+	default:
+		a.SectorMask = 1 << uint(s.rng.Intn(4))
+	}
+	a.Store = s.rng.Float64() < s.spec.WriteFrac
+	return a
+}
+
+func (s *Stream) sectorsThisAccess() int {
+	n := s.spec.SectorsPerAccess
+	if n <= 0 {
+		n = 4
+	}
+	if n > 4 {
+		n = 4
+	}
+	return n
+}
+
+func (s *Stream) remember(addr uint64) {
+	if s.recentN < len(s.recent) {
+		s.recent[s.recentN] = addr
+		s.recentN++
+		return
+	}
+	s.recent[s.rng.Intn(len(s.recent))] = addr
+}
+
+// IsHostAccess reports whether the next-generated access should target host
+// memory natively (used for FF_HPGMG's synchronous host copies). Callers
+// draw it per access to keep Stream's Next signature simple.
+func (s *Stream) IsHostAccess() bool {
+	return s.spec.HostFrac > 0 && s.rng.Float64() < s.spec.HostFrac
+}
+
+// SectorCount returns the number of sectors set in mask.
+func SectorCount(mask uint8) int {
+	n := 0
+	for m := mask; m != 0; m >>= 1 {
+		n += int(m & 1)
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+package trace_test
+
+import (
+	"testing"
+
+	"buddy/internal/trace"
+	"buddy/internal/workloads"
+)
+
+func spec(name string, t *testing.T) trace.Spec {
+	t.Helper()
+	b, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Trace
+}
+
+func TestDeterminism(t *testing.T) {
+	s1 := trace.NewStream(spec("351.palm", t), 1<<24, 7, 3)
+	s2 := trace.NewStream(spec("351.palm", t), 1<<24, 7, 3)
+	for i := 0; i < 1000; i++ {
+		if s1.Next() != s2.Next() {
+			t.Fatalf("stream diverged at access %d", i)
+		}
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	for _, name := range []string{"351.palm", "356.sp", "354.cg", "AlexNet"} {
+		const fp = 1 << 22
+		s := trace.NewStream(spec(name, t), fp, 3, 11)
+		for i := 0; i < 5000; i++ {
+			a := s.Next()
+			if a.Addr >= fp {
+				t.Fatalf("%s: address %d beyond footprint", name, a.Addr)
+			}
+			if a.Addr%128 != 0 {
+				t.Fatalf("%s: address %d not entry-aligned", name, a.Addr)
+			}
+			if a.SectorMask == 0 {
+				t.Fatalf("%s: empty sector mask", name)
+			}
+		}
+	}
+}
+
+func TestStreamingCoversFootprint(t *testing.T) {
+	// Many streaming warps must jointly touch addresses across the whole
+	// footprint, not just a prefix (the coverage bug class).
+	sp := spec("356.sp", t)
+	const fp = 1 << 24
+	seenHigh := false
+	for w := 0; w < 256 && !seenHigh; w++ {
+		s := trace.NewStream(sp, fp, 9, w)
+		for i := 0; i < 50; i++ {
+			if s.Next().Addr > fp*3/4 {
+				seenHigh = true
+				break
+			}
+		}
+	}
+	if !seenHigh {
+		t.Error("no warp reached the top quarter of the footprint")
+	}
+}
+
+func TestSectorMaskMatchesSpec(t *testing.T) {
+	// Single-sector spec (354.cg) must produce single-sector masks;
+	// streaming specs produce full lines.
+	s := trace.NewStream(spec("354.cg", t), 1<<22, 5, 0)
+	for i := 0; i < 200; i++ {
+		if n := trace.SectorCount(s.Next().SectorMask); n != 1 {
+			t.Fatalf("cg access touched %d sectors, want 1", n)
+		}
+	}
+	s = trace.NewStream(spec("356.sp", t), 1<<22, 5, 0)
+	for i := 0; i < 200; i++ {
+		if n := trace.SectorCount(s.Next().SectorMask); n != 4 {
+			t.Fatalf("sp access touched %d sectors, want 4", n)
+		}
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	sp := spec("356.sp", t)
+	s := trace.NewStream(sp, 1<<22, 5, 0)
+	stores := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Next().Store {
+			stores++
+		}
+	}
+	frac := float64(stores) / n
+	if frac < sp.WriteFrac-0.05 || frac > sp.WriteFrac+0.05 {
+		t.Errorf("store fraction %.3f, want ~%.2f", frac, sp.WriteFrac)
+	}
+}
+
+func TestHostAccessFraction(t *testing.T) {
+	sp := spec("FF_HPGMG", t)
+	s := trace.NewStream(sp, 1<<22, 5, 0)
+	hosts := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.IsHostAccess() {
+			hosts++
+		}
+		s.Next()
+	}
+	frac := float64(hosts) / n
+	if frac < sp.HostFrac-0.03 || frac > sp.HostFrac+0.03 {
+		t.Errorf("host fraction %.3f, want ~%.2f", frac, sp.HostFrac)
+	}
+	// Non-host benchmarks never report host accesses.
+	s2 := trace.NewStream(spec("356.sp", t), 1<<22, 5, 0)
+	for i := 0; i < 1000; i++ {
+		if s2.IsHostAccess() {
+			t.Fatal("356.sp has no native host traffic")
+		}
+	}
+}
+
+func TestPageRunClustering(t *testing.T) {
+	// cg's high PageRun keeps consecutive irregular accesses in one 8 KB
+	// page far more often than palm's low PageRun.
+	runFrac := func(name string) float64 {
+		s := trace.NewStream(spec(name, t), 1<<26, 5, 0)
+		same, prev := 0, uint64(0)
+		const n = 20000
+		for i := 0; i < n; i++ {
+			page := s.Next().Addr / 8192
+			if i > 0 && page == prev {
+				same++
+			}
+			prev = page
+		}
+		return float64(same) / n
+	}
+	cg, palm := runFrac("354.cg"), runFrac("351.palm")
+	if cg <= palm+0.2 {
+		t.Errorf("cg page-run fraction (%.2f) should far exceed palm's (%.2f)", cg, palm)
+	}
+}
+
+func TestSectorCount(t *testing.T) {
+	cases := map[uint8]int{0: 0, 1: 1, 0x3: 2, 0x7: 3, 0xF: 4, 0xA: 2}
+	for mask, want := range cases {
+		if got := trace.SectorCount(mask); got != want {
+			t.Errorf("trace.SectorCount(%#x) = %d, want %d", mask, got, want)
+		}
+	}
+}

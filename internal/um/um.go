@@ -1,0 +1,194 @@
+// Package um models Unified Memory oversubscription, the paper's software
+// baseline (§4.3, Fig. 12). The paper measures real Power9+V100 hardware;
+// we simulate the first-order mechanics instead: demand paging with an LRU
+// page pool in device memory, driver-handled fault batches with a fixed
+// service cost, page migration over the interconnect, and the alternative
+// "pinned" mode where every access crosses the link (the dotted lines of
+// Fig. 12). The headline behaviours the model must reproduce: runtime grows
+// super-linearly with forced oversubscription (up to ~64x at 40%), and the
+// migration heuristics often do worse than simply pinning all data in host
+// memory for irregular workloads.
+package um
+
+import (
+	"buddy/internal/trace"
+)
+
+// Config holds the UM system parameters.
+type Config struct {
+	// PageBytes is the migration granularity (UM migrates at 64 KB-2 MB
+	// chunks; 64 KB is the common small-page size on Pascal/Volta).
+	PageBytes int
+	// FaultBatchCycles is the driver cost of servicing a fault batch:
+	// fault delivery, host interrupt, page-table update. Driver-based
+	// handling is "remote and non-distributed" (§3.3) and very expensive.
+	FaultBatchCycles float64
+	// LinkGBs is the interconnect bandwidth (the paper's Fig. 12 testbed:
+	// 3 NVLink2 bricks = 75 GB/s full-duplex).
+	LinkGBs float64
+	// CoreClockGHz converts to cycles.
+	CoreClockGHz float64
+	// DeviceFracBase is the fraction of the working set resident before
+	// forcing oversubscription (1.0 = everything fits).
+	DeviceFracBase float64
+	// Accesses is the number of simulated warp accesses.
+	Accesses int
+	// Warps is the number of concurrent access streams.
+	Warps int
+}
+
+// DefaultConfig mirrors the Fig. 12 testbed.
+func DefaultConfig() Config {
+	return Config{
+		PageBytes:        64 << 10,
+		FaultBatchCycles: 40000, // ~30 us at 1.3 GHz
+		LinkGBs:          75,
+		CoreClockGHz:     1.3,
+		DeviceFracBase:   1.0,
+		Accesses:         300000,
+		Warps:            64,
+	}
+}
+
+// Result reports one oversubscription point.
+type Result struct {
+	// Oversubscription is the forced fraction of the footprint that does
+	// not fit device memory.
+	Oversubscription float64
+	// RelativeRuntime is runtime normalized to the fully resident run.
+	RelativeRuntime float64
+	// Faults is the number of page-fault migrations.
+	Faults uint64
+	// MigratedBytes is the total migration traffic.
+	MigratedBytes uint64
+}
+
+// simple CLOCK-style approximation of LRU: good enough for fault counting
+// and far faster than a linked list at these sizes.
+type clockPool struct {
+	cap      int
+	resident map[uint64]bool
+	order    []uint64
+	hand     int
+}
+
+func newClockPool(capacity int) *clockPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &clockPool{cap: capacity, resident: make(map[uint64]bool, capacity)}
+}
+
+// touch returns true if page was resident; otherwise it evicts (FIFO/CLOCK)
+// and inserts the page, returning false.
+func (p *clockPool) touch(page uint64) bool {
+	if p.resident[page] {
+		return true
+	}
+	if len(p.order) >= p.cap {
+		victim := p.order[p.hand]
+		delete(p.resident, victim)
+		p.order[p.hand] = page
+		p.hand = (p.hand + 1) % p.cap
+	} else {
+		p.order = append(p.order, page)
+	}
+	p.resident[page] = true
+	return false
+}
+
+// baselineCycles is the modeled runtime of the fully resident run: device
+// bandwidth is not the bottleneck in this comparison, so the baseline is
+// simply proportional to the access count with a nominal per-access cost.
+const baselineCostPerAccess = 4.0
+
+// RunOversubscription simulates spec under forced oversubscription
+// (0.0-0.5) and returns the relative runtime (Fig. 12 solid lines).
+func RunOversubscription(spec trace.Spec, footprint uint64, oversub float64, cfg Config) Result {
+	if cfg.PageBytes == 0 {
+		cfg = DefaultConfig()
+	}
+	pages := int(footprint / uint64(cfg.PageBytes))
+	if pages < 4 {
+		pages = 4
+	}
+	residentCap := int(float64(pages) * (1 - oversub) * cfg.DeviceFracBase)
+	if residentCap < 1 {
+		residentCap = 1
+	}
+	pool := newClockPool(residentCap)
+	streams := make([]*trace.Stream, cfg.Warps)
+	for w := range streams {
+		streams[w] = trace.NewStream(spec, footprint, 99, w)
+	}
+
+	linkBytesPerCycle := cfg.LinkGBs * 1e9 / (cfg.CoreClockGHz * 1e9)
+	migCycles := float64(cfg.PageBytes) / linkBytesPerCycle
+
+	res := Result{Oversubscription: oversub}
+	var cycles float64
+	for i := 0; i < cfg.Accesses; i++ {
+		a := streams[i%cfg.Warps].Next()
+		page := a.Addr / uint64(cfg.PageBytes)
+		cycles += baselineCostPerAccess
+		if oversub <= 0 {
+			pool.touch(page)
+			continue
+		}
+		if !pool.touch(page) {
+			// Page fault: driver service plus migration of the page in
+			// (and, when the pool is full, write-back of the victim,
+			// which the full-duplex link overlaps with the fill).
+			res.Faults++
+			res.MigratedBytes += uint64(cfg.PageBytes)
+			cycles += cfg.FaultBatchCycles + migCycles
+		}
+	}
+	base := float64(cfg.Accesses) * baselineCostPerAccess
+	res.RelativeRuntime = cycles / base
+	return res
+}
+
+// RunPinned models the compiler flag that pins all allocations in host
+// memory (Fig. 12 dotted lines): no faults, but every access crosses the
+// link and pays remote latency; throughput is limited by link bandwidth.
+func RunPinned(spec trace.Spec, footprint uint64, cfg Config) Result {
+	if cfg.PageBytes == 0 {
+		cfg = DefaultConfig()
+	}
+	linkBytesPerCycle := cfg.LinkGBs * 1e9 / (cfg.CoreClockGHz * 1e9)
+	streams := make([]*trace.Stream, cfg.Warps)
+	for w := range streams {
+		streams[w] = trace.NewStream(spec, footprint, 99, w)
+	}
+	var busy float64 // link occupancy
+	var cycles float64
+	for i := 0; i < cfg.Accesses; i++ {
+		a := streams[i%cfg.Warps].Next()
+		bytes := float64(trace.SectorCount(a.SectorMask) * 32)
+		busy += bytes / linkBytesPerCycle
+		cycles += baselineCostPerAccess
+	}
+	if busy > cycles {
+		cycles = busy
+	}
+	// Remote latency exposure: a slowdown floor versus local memory that
+	// latency hiding cannot fully absorb at UM's concurrency.
+	const remotePenalty = 2.5
+	base := float64(cfg.Accesses) * baselineCostPerAccess
+	rel := cycles * remotePenalty / base
+	return Result{RelativeRuntime: rel}
+}
+
+// Sweep runs Fig. 12's x-axis for one benchmark: forced oversubscription
+// levels with the UM migrating mode, plus the pinned-host mode.
+func Sweep(spec trace.Spec, footprint uint64, points []float64, cfg Config) (um []Result, pinned Result) {
+	if len(points) == 0 {
+		points = []float64{0, 0.05, 0.10, 0.20, 0.30, 0.40}
+	}
+	for _, o := range points {
+		um = append(um, RunOversubscription(spec, footprint, o, cfg))
+	}
+	pinned = RunPinned(spec, footprint, cfg)
+	return um, pinned
+}

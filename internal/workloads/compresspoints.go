@@ -1,0 +1,45 @@
+package workloads
+
+import (
+	"math"
+
+	"buddy/internal/compress"
+	"buddy/internal/memory"
+)
+
+// CompressPoint implements the trace-point selection methodology the paper
+// uses for its performance traces (§4.1, citing CompressPoints [48]): each
+// benchmark's timing trace is taken "at a point in execution that exhibits
+// the average compression ratio for that entire benchmark execution".
+// Given a run's snapshots, it returns the index of the snapshot whose
+// compression ratio is closest to the run's mean ratio, plus the ratios for
+// reporting.
+func CompressPoint(snaps []*memory.Snapshot, c compress.Compressor) (index int, ratios []float64) {
+	if len(snaps) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for _, s := range snaps {
+		r := memory.CompressionRatio(s, c, compress.OptimisticSizes)
+		ratios = append(ratios, r)
+		sum += r
+	}
+	mean := sum / float64(len(ratios))
+	best := math.Inf(1)
+	for i, r := range ratios {
+		if d := math.Abs(r - mean); d < best {
+			best = d
+			index = i
+		}
+	}
+	return index, ratios
+}
+
+// RepresentativeSnapshot generates benchmark b's run and returns its
+// CompressPoint snapshot — the dump the performance studies should build
+// their data models from.
+func RepresentativeSnapshot(b Benchmark, scale int, c compress.Compressor) *memory.Snapshot {
+	snaps := GenerateRun(b, scale)
+	idx, _ := CompressPoint(snaps, c)
+	return snaps[idx]
+}

@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"buddy/internal/compress"
+)
+
+func TestCompressPointPicksMeanRatio(t *testing.T) {
+	// 355.seismic's ratio decays monotonically over the run, so its
+	// CompressPoint must be an interior snapshot, not an endpoint.
+	b, err := ByName("355.seismic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := GenerateRun(b, testScale)
+	idx, ratios := CompressPoint(snaps, compress.NewBPC())
+	if len(ratios) != Snapshots {
+		t.Fatalf("want %d ratios, got %d", Snapshots, len(ratios))
+	}
+	if idx == 0 || idx == Snapshots-1 {
+		t.Errorf("decaying-ratio benchmark should pick an interior snapshot, got %d (ratios %v)", idx, ratios)
+	}
+	// The chosen snapshot is the closest to the mean by construction.
+	var mean float64
+	for _, r := range ratios {
+		mean += r
+	}
+	mean /= float64(len(ratios))
+	for i, r := range ratios {
+		if math.Abs(r-mean) < math.Abs(ratios[idx]-mean)-1e-12 {
+			t.Errorf("snapshot %d (%.3f) is closer to mean %.3f than chosen %d (%.3f)",
+				i, r, mean, idx, ratios[idx])
+		}
+	}
+}
+
+func TestCompressPointStableBenchmark(t *testing.T) {
+	// A benchmark with a flat ratio can pick any snapshot; the function
+	// must still return a valid index and consistent ratios.
+	b, err := ByName("356.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := GenerateRun(b, testScale)
+	idx, ratios := CompressPoint(snaps, compress.NewBPC())
+	if idx < 0 || idx >= len(snaps) {
+		t.Fatalf("index %d out of range", idx)
+	}
+	for _, r := range ratios {
+		if math.Abs(r-ratios[0]) > 0.2 {
+			t.Errorf("356.sp should be temporally stable, ratios %v", ratios)
+		}
+	}
+}
+
+func TestRepresentativeSnapshot(t *testing.T) {
+	b, err := ByName("351.palm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RepresentativeSnapshot(b, testScale, compress.NewBPC())
+	if s == nil || len(s.Allocations) != len(b.Regions) {
+		t.Fatal("representative snapshot malformed")
+	}
+}
+
+func TestCompressPointEmpty(t *testing.T) {
+	idx, ratios := CompressPoint(nil, compress.NewBPC())
+	if idx != 0 || ratios != nil {
+		t.Error("empty input should return zero values")
+	}
+}
