@@ -189,7 +189,7 @@ func BenchmarkCompressors(b *testing.B) {
 
 // BenchmarkDeviceWrite measures the end-to-end compressed write path.
 func BenchmarkDeviceWrite(b *testing.B) {
-	dev := NewDevice(Config{DeviceBytes: 64 << 20})
+	dev := New(WithDeviceBytes(64 << 20))
 	alloc, err := dev.Malloc("bench", 32<<20, Target2x)
 	if err != nil {
 		b.Fatal(err)

@@ -1,21 +1,28 @@
 // Package buddy is a from-scratch reproduction of "Buddy Compression:
 // Enabling Larger Memory for Deep Learning and HPC Workloads on GPUs"
-// (Choukse et al., ISCA 2020). It provides:
+// (Choukse et al., ISCA 2020), grown into a layered, concurrency-safe
+// compressed-memory driver. It provides:
 //
 //   - the Buddy Compression mechanism itself: compressed GPU allocations
-//     with fixed per-entry sector budgets split between device memory and an
-//     NVLink-attached buddy carve-out (NewDevice, Device.Malloc),
+//     with fixed per-entry sector budgets split between a device slab and
+//     an overflow tier (New, Device.Malloc),
+//   - a byte-addressed bulk I/O surface — Allocation satisfies io.ReaderAt
+//     and io.WriterAt, and Memcpy mirrors cudaMemcpy — so callers never
+//     deal in 128 B entries,
+//   - pluggable storage tiers behind the Backend interface: the paper's
+//     NVLink buddy carve-out, plus a host unified-memory fallback
+//     (WithHostFallback) and room for peer-GPU or disaggregated tiers,
 //   - the profiling pass that chooses per-allocation target compression
 //     ratios under a Buddy Threshold (Profile),
 //   - the hardware compression algorithms the paper evaluates (NewBPC and
 //     the baselines via Compressors),
 //   - the synthetic workload suite standing in for the paper's sixteen
 //     benchmarks (Workloads), and
-//   - runners that regenerate every table and figure of the paper's
-//     evaluation (the Experiment* functions and cmd/buddysim).
+//   - a self-registering experiment registry that regenerates every table
+//     and figure of the paper's evaluation (ExperimentRegistry,
+//     RunExperiment and cmd/buddysim).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-versus-measured results.
+// See DESIGN.md for the system inventory and layer diagram.
 package buddy
 
 import (
@@ -26,22 +33,30 @@ import (
 )
 
 // EntryBytes is the compression granularity: one 128 B memory-entry.
+// Byte-addressed callers (ReadAt, WriteAt, Memcpy) never need it; it is
+// exported for traffic accounting and entry-granular tools.
 const EntryBytes = compress.EntryBytes
 
 // SectorBytes is the GPU memory access granularity (32 B).
 const SectorBytes = compress.SectorBytes
 
-// Device is a Buddy Compression GPU memory device.
+// Device is a Buddy Compression GPU memory device. It is safe for
+// concurrent use by multiple goroutines.
 type Device = core.Device
 
-// Allocation is a compressed allocation on a Device.
+// Allocation is a compressed allocation on a Device. It satisfies
+// io.ReaderAt and io.WriterAt: callers address plain byte offsets and the
+// driver handles compression, sector placement and overflow underneath.
 type Allocation = core.Allocation
 
-// Config parameterizes a Device; the zero value takes the paper's final
-// design defaults (§3.5).
-type Config = core.Config
+// Backend is one pluggable storage tier (device slab, NVLink buddy
+// carve-out, host unified-memory fallback, ...).
+type Backend = core.Backend
 
-// Traffic holds a Device's byte-level traffic counters.
+// BackendTraffic is a snapshot of one tier's access counters.
+type BackendTraffic = core.BackendTraffic
+
+// Traffic holds a snapshot of a Device's byte-level traffic counters.
 type Traffic = core.Traffic
 
 // TargetRatio is an allocation's annotated target compression ratio.
@@ -57,13 +72,12 @@ const (
 	Target16x   = core.Target16x
 )
 
-// NewDevice creates a Buddy Compression device. Zero-valued Config fields
-// default to the paper's final design (BPC, 12 GB device, 3x carve-out,
-// 4-way sliced metadata cache).
-func NewDevice(cfg Config) *Device { return core.NewDevice(cfg) }
-
-// DefaultConfig returns the paper's final design parameters.
-func DefaultConfig() Config { return core.DefaultConfig() }
+// Memcpy copies n bytes from the start of src to the start of dst through
+// both compression pipelines — the transparent-memory equivalent of
+// cudaMemcpy(dst, src, n). The allocations may live on different devices.
+func Memcpy(dst, src *Allocation, n int64) (int64, error) {
+	return core.Memcpy(dst, src, n)
+}
 
 // Compressor compresses 128 B memory-entries.
 type Compressor = compress.Compressor
@@ -114,8 +128,9 @@ func GenerateRun(b Benchmark, scale int) []*Snapshot {
 }
 
 // LoadSnapshot allocates a snapshot's regions on a device with the given
-// targets (falling back to 1x) and writes every entry through the
-// compression pipeline. It returns the created allocations in order.
+// targets (falling back to 1x) and writes every region through the
+// compression pipeline in bulk. It returns the created allocations in
+// order.
 func LoadSnapshot(d *Device, s *Snapshot, targets map[string]TargetRatio) ([]*Allocation, error) {
 	var out []*Allocation
 	for _, a := range s.Allocations {
@@ -127,11 +142,8 @@ func LoadSnapshot(d *Device, s *Snapshot, targets map[string]TargetRatio) ([]*Al
 		if err != nil {
 			return out, err
 		}
-		n := a.Entries()
-		for i := 0; i < n; i++ {
-			if err := alloc.WriteEntry(i, a.Entry(i)); err != nil {
-				return out, err
-			}
+		if _, err := alloc.WriteAt(a.Data, 0); err != nil {
+			return out, err
 		}
 		out = append(out, alloc)
 	}

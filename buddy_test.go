@@ -21,7 +21,7 @@ func TestPublicAPIFlow(t *testing.T) {
 	}
 
 	data := snaps[0]
-	dev := NewDevice(Config{DeviceBytes: int64(data.TotalBytes())})
+	dev := New(WithDeviceBytes(int64(data.TotalBytes())))
 	allocs, err := LoadSnapshot(dev, data, prof.Targets())
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestExperimentsListMatchesRunner(t *testing.T) {
 func TestCapacityStory(t *testing.T) {
 	// The paper's pitch: 24 GB of data on a 12 GB GPU at 2x. Shrunk: 2 MiB
 	// of data on a 1 MiB device.
-	dev := NewDevice(Config{DeviceBytes: 1 << 20})
+	dev := New(WithDeviceBytes(1 << 20))
 	a, err := dev.Malloc("big", 2<<20, Target2x)
 	if err != nil {
 		t.Fatalf("2x annotation should double capacity: %v", err)

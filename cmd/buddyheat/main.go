@@ -34,7 +34,7 @@ func main() {
 		}
 		os.Exit(2)
 	}
-	b, err := workloads.ByName(*bench)
+	b, err := buddy.WorkloadByName(*bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "buddyheat:", err)
 		os.Exit(1)

@@ -21,12 +21,33 @@ func main() {
 	threshold := flag.Float64("threshold", 0.30, "Buddy Threshold (max overflow fraction)")
 	noZeroPage := flag.Bool("no-zeropage", false, "disable the 16x mostly-zero optimization")
 	scale := flag.Int("scale", 1024, "footprint divisor for synthesis")
+	fig := flag.String("fig", "", "render a whole-suite profiling experiment from the registry (fig7, fig8, fig9) instead of one benchmark")
 	flag.Parse()
 
+	if *fig != "" {
+		sc := buddy.QuickScale()
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				sc.Workload = *scale
+			}
+		})
+		if err := buddy.RunExperiment(os.Stdout, *fig, sc); err != nil {
+			fmt.Fprintln(os.Stderr, "buddyprof:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *bench == "" {
 		fmt.Fprintln(os.Stderr, "buddyprof: -bench is required; available workloads:")
 		for _, b := range buddy.Workloads() {
 			fmt.Fprintf(os.Stderr, "  %s\n", b.Name)
+		}
+		fmt.Fprintln(os.Stderr, "or -fig for the registry's whole-suite profiling experiments:")
+		for _, e := range buddy.ExperimentRegistry() {
+			switch e.Name {
+			case "fig7", "fig8", "fig9":
+				fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.Name, e.Description)
+			}
 		}
 		os.Exit(2)
 	}

@@ -1,31 +1,34 @@
 // Command buddysim regenerates the tables and figures of the Buddy
-// Compression paper (ISCA 2020) from the reproduction library.
+// Compression paper (ISCA 2020) from the reproduction library. Experiments
+// are discovered through the buddy experiment registry.
 //
 // Usage:
 //
 //	buddysim -exp fig7            # one experiment at reference fidelity
 //	buddysim -exp all -quick      # every experiment, smoke fidelity
-//	buddysim -list                # list experiment ids
+//	buddysim -list                # list registered experiments
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"buddy"
 )
 
 func main() {
-	expName := flag.String("exp", "", "experiment id (tab1, tab2, fig3..fig13d, all)")
+	expName := flag.String("exp", "", "experiment id (see -list; or 'all')")
 	quick := flag.Bool("quick", false, "run at smoke fidelity (seconds instead of minutes)")
-	list := flag.Bool("list", false, "list experiment ids")
+	list := flag.Bool("list", false, "list registered experiments")
 	scale := flag.Int("scale", 0, "override workload footprint divisor")
 	flag.Parse()
 
 	if *list || *expName == "" {
-		fmt.Println("experiments:", strings.Join(buddy.Experiments(), " "))
+		fmt.Println("registered experiments:")
+		for _, e := range buddy.ExperimentRegistry() {
+			fmt.Printf("  %-8s %s\n", e.Name, e.Description)
+		}
 		if *expName == "" && !*list {
 			os.Exit(2)
 		}

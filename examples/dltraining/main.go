@@ -6,7 +6,10 @@ package main
 
 import (
 	"fmt"
+	"log"
+	"os"
 
+	"buddy"
 	"buddy/internal/dltrain"
 )
 
@@ -31,6 +34,17 @@ func main() {
 	for _, r := range dltrain.Fig13c(cfg) {
 		fmt.Printf("  %-14s batch %4d -> %4d with %.2fx compression: %.0f%% faster training\n",
 			r.Name, r.BaseBatch, r.CompressedBatch, ratioOf(r.Name), (r.Speedup-1)*100)
+	}
+
+	// The full Fig. 13 family is in the experiment registry; render the
+	// training-speedup figure through the same path cmd/buddysim uses.
+	e, ok := buddy.LookupExperiment("fig13b")
+	if !ok {
+		log.Fatal("fig13b missing from the experiment registry")
+	}
+	fmt.Printf("\nregistry experiment %s — %s:\n", e.Name, e.Description)
+	if err := e.Run(os.Stdout, buddy.QuickScale()); err != nil {
+		log.Fatal(err)
 	}
 }
 

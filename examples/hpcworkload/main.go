@@ -31,7 +31,7 @@ func main() {
 	// allocations with the profiled targets and load it anyway.
 	data := snaps[len(snaps)-1] // last dump: the least compressible point
 	footprint := int64(data.TotalBytes())
-	gpu := buddy.NewDevice(buddy.Config{DeviceBytes: footprint * 2 / 3}) // GPU 33% too small
+	gpu := buddy.New(buddy.WithDeviceBytes(footprint * 2 / 3)) // GPU 33% too small
 
 	allocs, err := buddy.LoadSnapshot(gpu, data, prof.Targets())
 	if err != nil {
@@ -46,7 +46,7 @@ func main() {
 		tr.BuddyAccessFraction()*100)
 
 	// Without compression the same data cannot fit.
-	plain := buddy.NewDevice(buddy.Config{DeviceBytes: footprint * 2 / 3})
+	plain := buddy.New(buddy.WithDeviceBytes(footprint * 2 / 3))
 	if _, err := buddy.LoadSnapshot(plain, data, nil); err == nil {
 		log.Fatal("uncompressed load unexpectedly fit")
 	} else {

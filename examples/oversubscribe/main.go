@@ -46,4 +46,27 @@ func main() {
 		ideal.Cycles/buddyRun.Cycles, float64(buddyRun.BuddyAccesses)/float64(buddyRun.MemAccesses)*100)
 	fmt.Println("\n(paper §4.3: Buddy Compression suffers at most 1.67x at 50% oversubscription,")
 	fmt.Println(" while UM oversubscription routinely costs an order of magnitude)")
+
+	// (d) No buddy memory attached at all: the overflow tier falls back to
+	//     host unified memory behind a demand pager. The same data still
+	//     fits and round-trips; the tier's fault counters expose the cost.
+	snaps := buddy.GenerateRun(bench, 8192)
+	data := snaps[len(snaps)-1]
+	// Annotate everything 4x — deliberately too aggressive, so entries that
+	// don't compress 4x spill to the host tier and exercise the pager.
+	targets := make(map[string]buddy.TargetRatio)
+	for _, a := range data.Allocations {
+		targets[a.Name] = buddy.Target4x
+	}
+	host := buddy.New(
+		buddy.WithDeviceBytes(int64(data.TotalBytes())*2/3),
+		buddy.WithHostFallback(0, int64(data.TotalBytes())/8),
+	)
+	if _, err := buddy.LoadSnapshot(host, data, targets); err != nil {
+		log.Fatal(err)
+	}
+	_, overflow := host.Tiers()
+	ot := overflow.Traffic()
+	fmt.Printf("\nhost-fallback tier (%s): %d overflow stores, %d page faults, %.1f MiB migrated\n",
+		overflow.Name(), ot.Stores, ot.Faults, float64(ot.MigratedBytes)/(1<<20))
 }

@@ -26,63 +26,31 @@ func DefaultScale() ExperimentScale { return ExperimentScale{Workload: 1024, Sim
 // QuickScale runs every experiment in seconds, for CI-style smoke runs.
 func QuickScale() ExperimentScale { return ExperimentScale{Workload: 16384, Sim: 0.2} }
 
-// Experiments lists the regenerable tables and figures.
-func Experiments() []string {
-	return []string{
-		"tab1", "tab2", "fig3", "fig5b", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig13d",
-	}
-}
-
-// RunExperiment regenerates one table or figure and writes the paper-style
-// rows/series to w.
-func RunExperiment(w io.Writer, name string, sc ExperimentScale) error {
-	if sc.Workload == 0 {
-		sc = DefaultScale()
-	}
-	switch strings.ToLower(name) {
-	case "tab1":
-		return runTab1(w)
-	case "tab2":
-		_, err := fmt.Fprint(w, exp.Tab2(exp.ScaledSimConfig(sc.Sim)))
-		return err
-	case "fig3":
-		return runFig3(w, sc)
-	case "fig5b":
-		return runFig5b(w)
-	case "fig6":
-		return runFig6(w, sc)
-	case "fig7":
-		return runFig7(w, sc)
-	case "fig8":
-		return runFig8(w, sc)
-	case "fig9":
-		return runFig9(w, sc)
-	case "fig10":
-		return runFig10(w, sc)
-	case "fig11":
-		return runFig11(w, sc)
-	case "fig12":
-		return runFig12(w)
-	case "fig13a":
-		return runFig13a(w)
-	case "fig13b":
-		return runFig13b(w)
-	case "fig13c":
-		return runFig13c(w)
-	case "fig13d":
-		return runFig13d(w)
-	case "all":
-		for _, n := range Experiments() {
-			fmt.Fprintf(w, "==== %s ====\n", n)
-			if err := RunExperiment(w, n, sc); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
-	default:
-		return fmt.Errorf("buddy: unknown experiment %q (have %s)", name, strings.Join(Experiments(), ", "))
+// The paper's tables and figures self-register so cmd/buddysim,
+// cmd/buddyprof and the tests discover them through the registry instead of
+// a hard-coded switch. Registration order follows the paper.
+func init() {
+	for _, e := range []Experiment{
+		{Name: "tab1", Description: "benchmark table: suites, footprints, regions", Run: func(w io.Writer, _ ExperimentScale) error { return runTab1(w) }},
+		{Name: "tab2", Description: "performance-simulator configuration", Run: func(w io.Writer, sc ExperimentScale) error {
+			_, err := fmt.Fprint(w, exp.Tab2(exp.ScaledSimConfig(sc.Sim)))
+			return err
+		}},
+		{Name: "fig3", Description: "per-snapshot BPC compression ratios per benchmark", Run: runFig3},
+		{Name: "fig5b", Description: "metadata cache hit rate vs cache size", Run: func(w io.Writer, _ ExperimentScale) error { return runFig5b(w) }},
+		{Name: "fig6", Description: "spatial compressibility heat-maps", Run: runFig6},
+		{Name: "fig7", Description: "compression and buddy traffic: naive vs per-allocation vs final", Run: runFig7},
+		{Name: "fig8", Description: "buddy-access fraction over time under fixed targets", Run: runFig8},
+		{Name: "fig9", Description: "Buddy Threshold sweep per benchmark", Run: runFig9},
+		{Name: "fig10", Description: "simulator correlation against reference cycles", Run: runFig10},
+		{Name: "fig11", Description: "performance vs interconnect bandwidth sweep", Run: runFig11},
+		{Name: "fig12", Description: "Unified Memory oversubscription baseline", Run: func(w io.Writer, _ ExperimentScale) error { return runFig12(w) }},
+		{Name: "fig13a", Description: "DL training footprint vs batch size", Run: func(w io.Writer, _ ExperimentScale) error { return runFig13a(w) }},
+		{Name: "fig13b", Description: "DL training speedup vs batch size", Run: func(w io.Writer, _ ExperimentScale) error { return runFig13b(w) }},
+		{Name: "fig13c", Description: "feasible batch and speedup with Buddy Compression", Run: func(w io.Writer, _ ExperimentScale) error { return runFig13c(w) }},
+		{Name: "fig13d", Description: "training accuracy across batch sizes", Run: func(w io.Writer, _ ExperimentScale) error { return runFig13d(w) }},
+	} {
+		RegisterExperiment(e)
 	}
 }
 
@@ -198,7 +166,7 @@ func runFig10(w io.Writer, sc ExperimentScale) error {
 		res.FastWallSeconds, res.DetailedWallSeconds, res.SpeedupVsDetailed, res.DetailedAgreement)
 	points := res.Points
 	sort.Slice(points, func(i, j int) bool { return points[i].SimCycles < points[j].SimCycles })
-	for _, p := range points[:minInt(6, len(points))] {
+	for _, p := range points[:min(6, len(points))] {
 		fmt.Fprintf(w, "  %-14s ops=%-5d sim=%.3e ref=%.3e\n", p.Name, p.OpsPerWarp, p.SimCycles, p.RefCycles)
 	}
 	return nil
@@ -276,13 +244,6 @@ func runFig13d(w io.Writer) error {
 		fmt.Fprintf(w, "batch %3d: final accuracy %.3f (jitter %.4f)\n", r.Batch, r.Final, r.Jitter)
 	}
 	return nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // SimConfig exposes the Tab. 2 performance-simulator configuration for

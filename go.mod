@@ -1,0 +1,3 @@
+module buddy
+
+go 1.24

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"buddy/internal/nvlink"
+)
+
+// conformance is the shared Backend contract: every tier must account
+// capacity and traffic the same way, and survive concurrent Store/Load.
+func conformance(t *testing.T, name string, mk func(capacity int64) Backend) {
+	t.Run(name+"/identity", func(t *testing.T) {
+		b := mk(1 << 20)
+		if b.Name() == "" {
+			t.Error("backend must have a name")
+		}
+		if c := b.Capacity(); c >= 0 && c != 1<<20 {
+			t.Errorf("bounded backend capacity = %d, want %d", c, 1<<20)
+		}
+	})
+
+	t.Run(name+"/capacity", func(t *testing.T) {
+		b := mk(1 << 10)
+		if b.Used() != 0 {
+			t.Fatalf("fresh backend used = %d", b.Used())
+		}
+		if err := b.Reserve(512); err != nil {
+			t.Fatalf("reserve within capacity: %v", err)
+		}
+		if b.Used() != 512 {
+			t.Errorf("used = %d, want 512", b.Used())
+		}
+		if b.Capacity() >= 0 {
+			if err := b.Reserve(1 << 10); !errors.Is(err, ErrOutOfMemory) {
+				t.Errorf("over-reserve error = %v, want ErrOutOfMemory", err)
+			}
+			if b.Used() != 512 {
+				t.Errorf("failed reserve must not change used, got %d", b.Used())
+			}
+		} else if err := b.Reserve(1 << 40); err != nil {
+			t.Errorf("unbounded backend refused reservation: %v", err)
+		}
+		b.Release(512)
+		if u := b.Used(); u != 0 && b.Capacity() >= 0 {
+			t.Errorf("after release used = %d, want 0", u)
+		}
+	})
+
+	t.Run(name+"/traffic", func(t *testing.T) {
+		b := mk(1 << 20)
+		b.Store(0, 96)
+		b.Store(1, 32)
+		b.Load(0, 64)
+		tr := b.Traffic()
+		if tr.Stores != 2 || tr.WrittenBytes != 128 {
+			t.Errorf("stores=%d written=%d, want 2/128", tr.Stores, tr.WrittenBytes)
+		}
+		if tr.Loads != 1 || tr.ReadBytes != 64 {
+			t.Errorf("loads=%d read=%d, want 1/64", tr.Loads, tr.ReadBytes)
+		}
+		b.ResetTraffic()
+		tr = b.Traffic()
+		if tr.Stores != 0 || tr.Loads != 0 || tr.ReadBytes != 0 || tr.WrittenBytes != 0 {
+			t.Errorf("reset left counters: %+v", tr)
+		}
+	})
+
+	t.Run(name+"/concurrent", func(t *testing.T) {
+		b := mk(1 << 30)
+		const workers, ops = 8, 500
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < ops; i++ {
+					b.Store(w*ops+i, 32)
+					b.Load(w*ops+i, 32)
+					if err := b.Reserve(16); err == nil {
+						b.Release(16)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		tr := b.Traffic()
+		if tr.Stores != workers*ops || tr.Loads != workers*ops {
+			t.Errorf("stores=%d loads=%d, want %d each", tr.Stores, tr.Loads, workers*ops)
+		}
+		if tr.WrittenBytes != workers*ops*32 || tr.ReadBytes != workers*ops*32 {
+			t.Errorf("bytes lost under concurrency: %+v", tr)
+		}
+	})
+}
+
+func TestBackendConformance(t *testing.T) {
+	conformance(t, "slab", func(c int64) Backend { return NewSlabBackend(c) })
+	conformance(t, "carveout", func(c int64) Backend {
+		return NewCarveoutBackend(c, nvlink.DefaultConfig())
+	})
+	conformance(t, "host-um", func(c int64) Backend {
+		// The host tier is unbounded by design; capacity bounds only the
+		// resident pool.
+		return NewHostBackend(4<<10, c)
+	})
+}
+
+func TestCarveoutBackendModelsLink(t *testing.T) {
+	b := NewCarveoutBackend(1<<20, nvlink.DefaultConfig())
+	b.Store(0, 1<<16)
+	b.Load(1, 1<<16)
+	r, w := b.LinkOccupancy()
+	if r <= 0 || w <= 0 {
+		t.Errorf("link occupancy read=%f write=%f, want both positive", r, w)
+	}
+	b.ResetTraffic()
+	if r, w = b.LinkOccupancy(); r != 0 || w != 0 {
+		t.Errorf("reset left link occupancy read=%f write=%f", r, w)
+	}
+}
+
+func TestHostBackendCountsFaults(t *testing.T) {
+	// One resident page: ping-pong between two pages faults every touch
+	// after the first.
+	b := NewHostBackend(4<<10, 4<<10)
+	pageEntries := (4 << 10) / EntryBytes
+	for i := 0; i < 10; i++ {
+		b.Store(0, 32)
+		b.Store(pageEntries, 32) // next page
+	}
+	tr := b.Traffic()
+	if tr.Faults < 10 {
+		t.Errorf("ping-pong across a one-page pool faulted %d times, want >= 10", tr.Faults)
+	}
+	if tr.MigratedBytes != tr.Faults*(4<<10) {
+		t.Errorf("migrated %d bytes for %d faults at 4 KiB pages", tr.MigratedBytes, tr.Faults)
+	}
+}

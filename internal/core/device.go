@@ -3,9 +3,15 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"buddy/internal/compress"
+	"buddy/internal/nvlink"
 )
+
+// EntryBytes is the compression granularity: one 128 B memory-entry.
+const EntryBytes = compress.EntryBytes
 
 // Config parameterizes a Buddy Compression device.
 type Config struct {
@@ -17,6 +23,14 @@ type Config struct {
 	// CarveoutFactor sizes the buddy carve-out relative to device memory;
 	// 3x supports a 4x maximum target ratio (§3.2).
 	CarveoutFactor int
+	// Overflow is the storage tier for sectors that spill past the target
+	// ratio. Nil selects the paper's design: an NVLink buddy carve-out of
+	// DeviceBytes*CarveoutFactor.
+	Overflow Backend
+	// Link configures the interconnect of the default carve-out tier; the
+	// zero value is NVLink2 (150 GB/s full-duplex). Ignored when Overflow
+	// is set.
+	Link nvlink.Config
 	// MetadataCacheBytes is the total metadata cache capacity (§3.5:
 	// 4 KB per DRAM-channel slice).
 	MetadataCacheBytes int
@@ -33,32 +47,33 @@ func DefaultConfig() Config {
 		Compressor:          compress.NewBPC(),
 		DeviceBytes:         12 << 30,
 		CarveoutFactor:      3,
+		Link:                nvlink.DefaultConfig(),
 		MetadataCacheBytes:  64 << 10,
 		MetadataCacheSlices: 8,
 		MetadataCacheWays:   4,
 	}
 }
 
-// Traffic accumulates byte-level traffic statistics for the device.
+// Traffic holds a snapshot of a Device's byte-level traffic counters.
 type Traffic struct {
 	// DeviceReadBytes and DeviceWriteBytes count device-memory data traffic.
 	DeviceReadBytes  uint64
 	DeviceWriteBytes uint64
 	// BuddyReadBytes and BuddyWriteBytes count interconnect traffic to the
-	// buddy carve-out.
+	// overflow tier.
 	BuddyReadBytes  uint64
 	BuddyWriteBytes uint64
 	// MetadataFillBytes counts device reads caused by metadata cache misses.
 	MetadataFillBytes uint64
 	// Reads and Writes count entry-level operations; BuddyAccesses counts
-	// operations that touched buddy memory (the numerator of Fig. 7/9).
+	// operations that touched the overflow tier (the numerator of Fig. 7/9).
 	Reads         uint64
 	Writes        uint64
 	BuddyAccesses uint64
 }
 
 // BuddyAccessFraction returns the fraction of entry accesses that touched
-// buddy memory.
+// the overflow tier.
 func (t Traffic) BuddyAccessFraction() float64 {
 	total := t.Reads + t.Writes
 	if total == 0 {
@@ -67,30 +82,79 @@ func (t Traffic) BuddyAccessFraction() float64 {
 	return float64(t.BuddyAccesses) / float64(total)
 }
 
+// trafficCounters is the device's live (atomic) form of Traffic.
+type trafficCounters struct {
+	deviceReadBytes, deviceWriteBytes atomic.Uint64
+	buddyReadBytes, buddyWriteBytes   atomic.Uint64
+	metadataFillBytes                 atomic.Uint64
+	reads, writes, buddyAccesses      atomic.Uint64
+}
+
+func (t *trafficCounters) snapshot() Traffic {
+	return Traffic{
+		DeviceReadBytes:   t.deviceReadBytes.Load(),
+		DeviceWriteBytes:  t.deviceWriteBytes.Load(),
+		BuddyReadBytes:    t.buddyReadBytes.Load(),
+		BuddyWriteBytes:   t.buddyWriteBytes.Load(),
+		MetadataFillBytes: t.metadataFillBytes.Load(),
+		Reads:             t.reads.Load(),
+		Writes:            t.writes.Load(),
+		BuddyAccesses:     t.buddyAccesses.Load(),
+	}
+}
+
+func (t *trafficCounters) reset() {
+	t.deviceReadBytes.Store(0)
+	t.deviceWriteBytes.Store(0)
+	t.buddyReadBytes.Store(0)
+	t.buddyWriteBytes.Store(0)
+	t.metadataFillBytes.Store(0)
+	t.reads.Store(0)
+	t.writes.Store(0)
+	t.buddyAccesses.Store(0)
+}
+
+// entryShards is the number of mutexes striping the entry space. Entries
+// hash to shards by metadata byte (two entries per byte), so the
+// read-modify-write on a shared metadata byte is always serialized.
+const entryShards = 64
+
 // Device is a Buddy Compression GPU memory: compressed allocations split
-// between a device slab and a buddy carve-out addressed from a global base
-// register (GBBR). Compressed streams are bit-exact; placement and traffic
-// are modeled at the paper's sector granularity. The software keeps the
+// between a primary device-slab tier and an overflow tier (the NVLink buddy
+// carve-out in the paper's design) addressed from a global base register
+// (GBBR). Compressed streams are bit-exact; placement and traffic are
+// modeled at the paper's sector granularity. The software keeps the
 // per-entry compressed streams in a side table because the model's 1-bit
 // stream framing would otherwise straddle slot boundaries that hardware
 // metadata absorbs.
+//
+// A Device is safe for concurrent use: the allocation table is guarded by a
+// reader-writer lock, per-entry state by sharded mutexes, and traffic by
+// atomic counters. Individual entry operations are atomic; a multi-entry
+// ReadAt/WriteAt is not one atomic unit against concurrent writers to the
+// same range.
 type Device struct {
-	cfg    Config
-	meta   *MetadataStore
-	mcache *MetadataCache
+	cfg      Config
+	primary  Backend
+	overflow Backend
+	mcache   *MetadataCache
 
-	allocs      []*Allocation
-	deviceUsed  int64
-	buddyUsed   int64
-	totalEntry  int
-	streams     [][]byte // side table of compressed streams, by global entry
-	gbbr        uint64   // global buddy base address (modeled)
-	traffic     Traffic
-	metaEnabled bool
+	mu         sync.RWMutex // guards the allocation table below
+	allocs     []*Allocation
+	deviceOff  int64 // next free device-slab offset
+	buddyOff   int64 // next free overflow offset
+	totalEntry int
+	streams    [][]byte // side table of compressed streams, by global entry
+	meta       *MetadataStore
+
+	shards      [entryShards]sync.Mutex
+	gbbr        uint64 // global buddy base address (modeled)
+	traffic     trafficCounters
+	metaEnabled atomic.Bool
 }
 
-// ErrOutOfMemory is returned when an allocation does not fit device memory
-// or its buddy slots exceed the carve-out.
+// ErrOutOfMemory is returned when an allocation does not fit a tier's
+// capacity.
 var ErrOutOfMemory = errors.New("core: out of memory")
 
 // NewDevice constructs a device from cfg, applying DefaultConfig values for
@@ -106,6 +170,9 @@ func NewDevice(cfg Config) *Device {
 	if cfg.CarveoutFactor == 0 {
 		cfg.CarveoutFactor = def.CarveoutFactor
 	}
+	if cfg.Link.BandwidthGBs == 0 {
+		cfg.Link = def.Link
+	}
 	if cfg.MetadataCacheBytes == 0 {
 		cfg.MetadataCacheBytes = def.MetadataCacheBytes
 	}
@@ -115,13 +182,20 @@ func NewDevice(cfg Config) *Device {
 	if cfg.MetadataCacheWays == 0 {
 		cfg.MetadataCacheWays = def.MetadataCacheWays
 	}
-	return &Device{
-		cfg:         cfg,
-		meta:        NewMetadataStore(0),
-		mcache:      NewMetadataCache(cfg.MetadataCacheBytes, cfg.MetadataCacheSlices, cfg.MetadataCacheWays),
-		gbbr:        0x4000_0000_0000, // arbitrary carve-out base
-		metaEnabled: true,
+	overflow := cfg.Overflow
+	if overflow == nil {
+		overflow = NewCarveoutBackend(cfg.DeviceBytes*int64(cfg.CarveoutFactor), cfg.Link)
 	}
+	d := &Device{
+		cfg:      cfg,
+		primary:  NewSlabBackend(cfg.DeviceBytes),
+		overflow: overflow,
+		meta:     NewMetadataStore(0),
+		mcache:   NewMetadataCache(cfg.MetadataCacheBytes, cfg.MetadataCacheSlices, cfg.MetadataCacheWays),
+		gbbr:     0x4000_0000_0000, // arbitrary carve-out base
+	}
+	d.metaEnabled.Store(true)
+	return d
 }
 
 // Allocation is one compressed cudaMalloc region on a device.
@@ -134,30 +208,42 @@ type Allocation struct {
 	// EntryCount is the number of 128 B memory-entries.
 	EntryCount int
 
+	size        int64  // requested byte size (EntryCount*128 minus padding)
 	firstEntry  int    // global entry index of entry 0
 	deviceOff   int64  // offset of the compressed region in device memory
 	buddyOff    uint64 // offset of the buddy slots from the GBBR
 	sectorCount []int  // last committed compressed sector count per entry
 }
 
-// Carveout returns the buddy carve-out capacity in bytes.
+// Size returns the allocation's requested byte size.
+func (a *Allocation) Size() int64 { return a.size }
+
+// Tiers returns the device's primary (device-slab) and overflow storage
+// tiers for per-tier inspection.
+func (d *Device) Tiers() (primary, overflow Backend) { return d.primary, d.overflow }
+
+// Carveout returns the overflow tier's capacity in bytes; negative means
+// unbounded (e.g. the host unified-memory fallback).
 func (d *Device) Carveout() int64 {
-	return d.cfg.DeviceBytes * int64(d.cfg.CarveoutFactor)
+	return d.overflow.Capacity()
 }
 
 // DeviceUsed returns the device bytes reserved by live allocations.
-func (d *Device) DeviceUsed() int64 { return d.deviceUsed }
+func (d *Device) DeviceUsed() int64 { return d.primary.Used() }
 
-// BuddyUsed returns the carve-out bytes reserved by live allocations.
-func (d *Device) BuddyUsed() int64 { return d.buddyUsed }
+// BuddyUsed returns the overflow bytes reserved by live allocations.
+func (d *Device) BuddyUsed() int64 { return d.overflow.Used() }
 
-// Traffic returns a copy of the accumulated traffic counters.
-func (d *Device) Traffic() Traffic { return d.traffic }
+// Traffic returns a snapshot of the accumulated traffic counters.
+func (d *Device) Traffic() Traffic { return d.traffic.snapshot() }
 
-// ResetTraffic clears traffic counters and the metadata cache.
+// ResetTraffic clears traffic counters, per-tier counters and the metadata
+// cache.
 func (d *Device) ResetTraffic() {
-	d.traffic = Traffic{}
+	d.traffic.reset()
 	d.mcache.Reset()
+	d.primary.ResetTraffic()
+	d.overflow.ResetTraffic()
 }
 
 // MetadataCacheHitRate exposes the metadata cache hit rate (Fig. 5b).
@@ -167,9 +253,11 @@ func (d *Device) MetadataCacheHitRate() float64 { return d.mcache.HitRate() }
 // achieves: original bytes of live allocations over their device
 // reservation. This is the quantity Fig. 7 and Fig. 9 report.
 func (d *Device) CompressionRatio() float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var orig, dev int64
 	for _, a := range d.allocs {
-		orig += int64(a.EntryCount) * 128
+		orig += int64(a.EntryCount) * EntryBytes
 		dev += int64(a.EntryCount) * int64(a.Target.DeviceBytes())
 	}
 	if dev == 0 {
@@ -180,32 +268,36 @@ func (d *Device) CompressionRatio() float64 {
 
 // Malloc reserves a compressed allocation of size bytes with the given
 // target ratio. The device reservation is size/target; the remainder of
-// each entry is reserved in the buddy carve-out (§3.2).
+// each entry is reserved in the overflow tier (§3.2).
 func (d *Device) Malloc(name string, size int64, target TargetRatio) (*Allocation, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("core: invalid allocation size %d", size)
 	}
-	entries := int((size + 127) / 128)
+	entries := int((size + EntryBytes - 1) / EntryBytes)
 	devBytes := int64(entries) * int64(target.DeviceBytes())
 	buddyBytes := int64(entries) * int64(target.BuddySlotBytes())
-	if d.deviceUsed+devBytes > d.cfg.DeviceBytes {
-		return nil, fmt.Errorf("%w: device (%d + %d > %d)", ErrOutOfMemory, d.deviceUsed, devBytes, d.cfg.DeviceBytes)
+	if err := d.primary.Reserve(devBytes); err != nil {
+		return nil, err
 	}
-	if d.buddyUsed+buddyBytes > d.Carveout() {
-		return nil, fmt.Errorf("%w: buddy carve-out (%d + %d > %d)", ErrOutOfMemory, d.buddyUsed, buddyBytes, d.Carveout())
+	if err := d.overflow.Reserve(buddyBytes); err != nil {
+		d.primary.Release(devBytes)
+		return nil, err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	a := &Allocation{
 		dev:         d,
 		Name:        name,
 		Target:      target,
 		EntryCount:  entries,
+		size:        size,
 		firstEntry:  d.totalEntry,
-		deviceOff:   d.deviceUsed,
-		buddyOff:    uint64(d.buddyUsed),
+		deviceOff:   d.deviceOff,
+		buddyOff:    uint64(d.buddyOff),
 		sectorCount: make([]int, entries),
 	}
-	d.deviceUsed += devBytes
-	d.buddyUsed += buddyBytes
+	d.deviceOff += devBytes
+	d.buddyOff += buddyBytes
 	d.totalEntry += entries
 	d.streams = append(d.streams, make([][]byte, entries)...)
 	d.meta = growMetadata(d.meta, d.totalEntry)
@@ -243,32 +335,46 @@ func (a *Allocation) checkIndex(i int) error {
 	return nil
 }
 
+func shardOf(globalEntry int) int {
+	// Two entries share a metadata byte; keep them in one shard so the
+	// byte's read-modify-write is serialized.
+	return (globalEntry / 2) % entryShards
+}
+
 // WriteEntry compresses and stores a 128 B entry. Sectors beyond the target
-// budget are written to the entry's fixed buddy slot; no other entry is
+// budget are written to the entry's fixed overflow slot; no other entry is
 // disturbed regardless of compressibility changes.
 func (a *Allocation) WriteEntry(i int, data []byte) error {
 	if err := a.checkIndex(i); err != nil {
 		return err
 	}
-	if len(data) != 128 {
-		return fmt.Errorf("core: entry must be 128 bytes, got %d", len(data))
+	if len(data) != EntryBytes {
+		return fmt.Errorf("core: entry must be %d bytes, got %d", EntryBytes, len(data))
 	}
 	d := a.dev
 	c := d.cfg.Compressor
 	sectors := compress.SectorsNeeded(c, data)
+	stream := c.Compress(data)
 	g := a.firstEntry + i
-	d.streams[g] = c.Compress(data)
-	a.sectorCount[i] = sectors
 
-	d.accessMetadata(g)
+	d.mu.RLock()
+	sh := &d.shards[shardOf(g)]
+	sh.Lock()
+	d.streams[g] = stream
 	d.meta.Set(g, sectors)
+	a.sectorCount[i] = sectors
+	sh.Unlock()
+	d.accessMetadata(g)
+	d.mu.RUnlock()
 
-	d.traffic.Writes++
+	d.traffic.writes.Add(1)
 	dev, buddy := a.splitBytes(sectors)
-	d.traffic.DeviceWriteBytes += uint64(dev)
-	d.traffic.BuddyWriteBytes += uint64(buddy)
+	d.traffic.deviceWriteBytes.Add(uint64(dev))
+	d.primary.Store(g, dev)
 	if buddy > 0 {
-		d.traffic.BuddyAccesses++
+		d.traffic.buddyWriteBytes.Add(uint64(buddy))
+		d.traffic.buddyAccesses.Add(1)
+		d.overflow.Store(g, buddy)
 	}
 	return nil
 }
@@ -278,23 +384,31 @@ func (a *Allocation) ReadEntry(i int, dst []byte) error {
 	if err := a.checkIndex(i); err != nil {
 		return err
 	}
-	if len(dst) != 128 {
-		return fmt.Errorf("core: dst must be 128 bytes, got %d", len(dst))
+	if len(dst) != EntryBytes {
+		return fmt.Errorf("core: dst must be %d bytes, got %d", EntryBytes, len(dst))
 	}
 	d := a.dev
 	g := a.firstEntry + i
-	d.accessMetadata(g)
-	sectors := d.meta.Get(g)
 
-	d.traffic.Reads++
+	d.mu.RLock()
+	d.accessMetadata(g)
+	sh := &d.shards[shardOf(g)]
+	sh.Lock()
+	sectors := d.meta.Get(g)
+	stream := d.streams[g]
+	sh.Unlock()
+	d.mu.RUnlock()
+
+	d.traffic.reads.Add(1)
 	dev, buddy := a.splitBytes(sectors)
-	d.traffic.DeviceReadBytes += uint64(dev)
-	d.traffic.BuddyReadBytes += uint64(buddy)
+	d.traffic.deviceReadBytes.Add(uint64(dev))
+	d.primary.Load(g, dev)
 	if buddy > 0 {
-		d.traffic.BuddyAccesses++
+		d.traffic.buddyReadBytes.Add(uint64(buddy))
+		d.traffic.buddyAccesses.Add(1)
+		d.overflow.Load(g, buddy)
 	}
 
-	stream := d.streams[g]
 	if stream == nil {
 		// Never-written entries read as zero, like fresh cudaMalloc pages.
 		for j := range dst {
@@ -310,8 +424,9 @@ func (a *Allocation) ReadEntry(i int, dst []byte) error {
 	return nil
 }
 
-// splitBytes returns the device and buddy byte traffic for one access to an
-// entry of the given compressed sector count under the allocation's target.
+// splitBytes returns the device and overflow byte traffic for one access to
+// an entry of the given compressed sector count under the allocation's
+// target.
 func (a *Allocation) splitBytes(sectors int) (dev, buddy int) {
 	t := a.Target
 	if t == Target16x {
@@ -334,21 +449,36 @@ func (a *Allocation) splitBytes(sectors int) (dev, buddy int) {
 // miss costs one 32 B device read (§3.2), counted separately so the
 // simulator can weigh it.
 func (d *Device) accessMetadata(globalEntry int) {
-	if !d.metaEnabled {
+	if !d.metaEnabled.Load() {
 		return
 	}
 	if !d.mcache.Access(globalEntry) {
-		d.traffic.MetadataFillBytes += MetadataLineBytes
-		d.traffic.DeviceReadBytes += MetadataLineBytes
+		d.traffic.metadataFillBytes.Add(MetadataLineBytes)
+		d.traffic.deviceReadBytes.Add(MetadataLineBytes)
+		d.primary.Load(globalEntry, MetadataLineBytes)
 	}
 }
 
 // SetMetadataCacheEnabled toggles metadata-cache modeling (used by the
 // Fig. 5b sweep to re-run with different cache sizes).
-func (d *Device) SetMetadataCacheEnabled(on bool) { d.metaEnabled = on }
+func (d *Device) SetMetadataCacheEnabled(on bool) { d.metaEnabled.Store(on) }
 
-// Allocations returns the live allocations in allocation order.
-func (d *Device) Allocations() []*Allocation { return d.allocs }
+// Allocations returns a copy of the live allocation list in allocation
+// order; mutating the returned slice does not affect the device.
+func (d *Device) Allocations() []*Allocation {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*Allocation, len(d.allocs))
+	copy(out, d.allocs)
+	return out
+}
 
 // SectorCount returns entry i's last committed compressed sector count.
-func (a *Allocation) SectorCount(i int) int { return a.sectorCount[i] }
+func (a *Allocation) SectorCount(i int) int {
+	d := a.dev
+	g := a.firstEntry + i
+	sh := &d.shards[shardOf(g)]
+	sh.Lock()
+	defer sh.Unlock()
+	return a.sectorCount[i]
+}

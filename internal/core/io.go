@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Byte-addressed bulk I/O over the entry-granular compression pipeline.
+// Allocation satisfies io.ReaderAt and io.WriterAt, so callers address
+// plain byte offsets — as software does under the paper's transparent
+// memory system — and never see the 128 B entry granularity. Unaligned
+// edges are handled with read-modify-write of the bounding entries.
+//
+// Each entry operation is individually atomic with respect to concurrent
+// device use; a multi-entry ReadAt/WriteAt is not a single atomic unit, and
+// concurrent writers to byte ranges sharing one entry may interleave at
+// entry granularity (standard torn-write semantics).
+
+var (
+	_ io.ReaderAt = (*Allocation)(nil)
+	_ io.WriterAt = (*Allocation)(nil)
+)
+
+// ReadAt implements io.ReaderAt: it reads len(p) bytes starting at byte
+// offset off, decompressing the covering entries. It returns io.EOF when
+// the read reaches past Size().
+func (a *Allocation) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("core: negative offset %d", off)
+	}
+	var entry [EntryBytes]byte
+	n := 0
+	for n < len(p) && off < a.size {
+		e := int(off / EntryBytes)
+		within := int(off % EntryBytes)
+		if err := a.ReadEntry(e, entry[:]); err != nil {
+			return n, err
+		}
+		avail := EntryBytes - within
+		if rem := a.size - off; int64(avail) > rem {
+			avail = int(rem)
+		}
+		c := copy(p[n:], entry[within:within+avail])
+		n += c
+		off += int64(c)
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt: it writes len(p) bytes starting at byte
+// offset off through the compression pipeline. Entries only partially
+// covered by the write (the unaligned head and tail, or any write within an
+// allocation's final padding entry) are read-modified-written so
+// neighbouring bytes are preserved. Writes past Size() stop short and
+// return io.ErrShortWrite.
+func (a *Allocation) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("core: negative offset %d", off)
+	}
+	var entry [EntryBytes]byte
+	n := 0
+	for n < len(p) && off < a.size {
+		e := int(off / EntryBytes)
+		within := int(off % EntryBytes)
+		avail := EntryBytes - within
+		if rem := a.size - off; int64(avail) > rem {
+			avail = int(rem)
+		}
+		if avail > len(p)-n {
+			avail = len(p) - n
+		}
+		if within == 0 && avail == EntryBytes {
+			// Fast path: a fully covered entry needs no read-back.
+			if err := a.WriteEntry(e, p[n:n+EntryBytes]); err != nil {
+				return n, err
+			}
+		} else {
+			if err := a.ReadEntry(e, entry[:]); err != nil {
+				return n, err
+			}
+			copy(entry[within:], p[n:n+avail])
+			if err := a.WriteEntry(e, entry[:]); err != nil {
+				return n, err
+			}
+		}
+		n += avail
+		off += int64(avail)
+	}
+	if n < len(p) {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}
+
+// Memcpy copies n bytes from the start of src to the start of dst through
+// both compression pipelines — the transparent-memory equivalent of
+// cudaMemcpy(dst, src, n). The allocations may live on different devices.
+// It returns the bytes copied; copying past either allocation's Size fails
+// after the in-range prefix.
+func Memcpy(dst, src *Allocation, n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("core: negative memcpy length %d", n)
+	}
+	if n > src.Size() || n > dst.Size() {
+		return 0, fmt.Errorf("core: memcpy length %d exceeds src %d or dst %d",
+			n, src.Size(), dst.Size())
+	}
+	buf := make([]byte, 64*EntryBytes)
+	var copied int64
+	for copied < n {
+		chunk := int64(len(buf))
+		if rem := n - copied; chunk > rem {
+			chunk = rem
+		}
+		if _, err := src.ReadAt(buf[:chunk], copied); err != nil {
+			return copied, err
+		}
+		w, err := dst.WriteAt(buf[:chunk], copied)
+		copied += int64(w)
+		if err != nil {
+			return copied, err
+		}
+	}
+	return copied, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"buddy/internal/gen"
+)
+
+func fillPattern(p []byte, seed byte) {
+	for i := range p {
+		p[i] = byte(i)*7 + seed
+	}
+}
+
+func TestReadWriteAtUnalignedRoundTrip(t *testing.T) {
+	d := newTestDevice(1 << 20)
+	a, err := d.Malloc("io", 8<<10, Target2x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance case: a 1000-byte write at an unaligned offset must
+	// round-trip bit-exactly through BPC, without touching neighbours.
+	neighbours := make([]byte, a.Size())
+	fillPattern(neighbours, 3)
+	if _, err := a.WriteAt(neighbours, 0); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	gen.Random{}.Fill(payload[:128], gen.NewRNG(7, 1))
+	fillPattern(payload[128:], 201)
+	const off = 333 // straddles entries 2..10, both edges unaligned
+	if n, err := a.WriteAt(payload, off); err != nil || n != len(payload) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+
+	got := make([]byte, 1000)
+	if n, err := a.ReadAt(got, off); err != nil || n != len(got) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("unaligned 1000-byte round-trip mismatch")
+	}
+
+	// Bytes around the window are preserved by the read-modify-write.
+	whole := make([]byte, a.Size())
+	if _, err := a.ReadAt(whole, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole[:off], neighbours[:off]) {
+		t.Error("bytes before the write window were disturbed")
+	}
+	if !bytes.Equal(whole[off+1000:], neighbours[off+1000:]) {
+		t.Error("bytes after the write window were disturbed")
+	}
+}
+
+func TestReadWriteAtEntryBoundaries(t *testing.T) {
+	d := newTestDevice(1 << 20)
+	a, _ := d.Malloc("edge", 4<<10, Target1x)
+	cases := []struct {
+		off int64
+		n   int
+	}{
+		{0, EntryBytes},              // exactly one aligned entry
+		{EntryBytes, 2 * EntryBytes}, // two aligned entries
+		{EntryBytes - 1, 2},          // byte straddling a boundary
+		{EntryBytes / 2, EntryBytes}, // one entry's worth, split across two
+		{a.Size() - 5, 5},            // tail of the allocation
+		{0, int(a.Size())},           // the whole allocation
+	}
+	for _, c := range cases {
+		p := make([]byte, c.n)
+		fillPattern(p, byte(c.off))
+		if n, err := a.WriteAt(p, c.off); err != nil || n != c.n {
+			t.Fatalf("WriteAt(%d, off=%d) = %d, %v", c.n, c.off, n, err)
+		}
+		got := make([]byte, c.n)
+		if n, err := a.ReadAt(got, c.off); err != nil || n != c.n {
+			t.Fatalf("ReadAt(%d, off=%d) = %d, %v", c.n, c.off, n, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("round-trip mismatch at off=%d n=%d", c.off, c.n)
+		}
+	}
+}
+
+func TestReadAtPastEndReturnsEOF(t *testing.T) {
+	d := newTestDevice(1 << 20)
+	a, _ := d.Malloc("eof", 300, Target1x) // 300 B: padded to 3 entries
+	if a.Size() != 300 {
+		t.Fatalf("Size = %d, want the requested 300", a.Size())
+	}
+	p := make([]byte, 64)
+	n, err := a.ReadAt(p, 280)
+	if n != 20 || err != io.EOF {
+		t.Errorf("ReadAt past end = %d, %v; want 20, io.EOF", n, err)
+	}
+	if n, err = a.ReadAt(p, 300); n != 0 || err != io.EOF {
+		t.Errorf("ReadAt at end = %d, %v; want 0, io.EOF", n, err)
+	}
+	if _, err = a.ReadAt(p, -1); err == nil {
+		t.Error("negative offset must error")
+	}
+	if n, err = a.WriteAt(p, 280); n != 20 || err != io.ErrShortWrite {
+		t.Errorf("WriteAt past end = %d, %v; want 20, ErrShortWrite", n, err)
+	}
+}
+
+func TestWriteAtPreservesPaddingSemantics(t *testing.T) {
+	// A partial write into the final, padded entry must round-trip and the
+	// in-range tail must stay addressable.
+	d := newTestDevice(1 << 20)
+	a, _ := d.Malloc("pad", 200, Target2x)
+	p := []byte{1, 2, 3, 4, 5}
+	if n, err := a.WriteAt(p, 190); err != nil || n != 5 {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	got := make([]byte, 5)
+	if _, err := a.ReadAt(got, 190); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Errorf("padded-entry round trip = %v, want %v", got, p)
+	}
+}
+
+func TestMemcpy(t *testing.T) {
+	d := newTestDevice(1 << 20)
+	src, _ := d.Malloc("src", 4<<10, Target2x)
+	dst, _ := d.Malloc("dst", 4<<10, Target4x)
+	data := make([]byte, src.Size())
+	gen.Noisy64{NoiseBits: 8, HiStep: 1}.Fill(data[:EntryBytes], gen.NewRNG(5, 1))
+	fillPattern(data[EntryBytes:], 9)
+	if _, err := src.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Memcpy(dst, src, src.Size())
+	if err != nil || n != src.Size() {
+		t.Fatalf("Memcpy = %d, %v", n, err)
+	}
+	got := make([]byte, dst.Size())
+	if _, err := dst.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("Memcpy content mismatch")
+	}
+
+	// Cross-device copies work too: each side uses its own pipeline.
+	d2 := newTestDevice(1 << 20)
+	far, _ := d2.Malloc("far", 4<<10, Target1x)
+	if _, err := Memcpy(far, src, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := far.ReadAt(got[:1000], 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:1000], data[:1000]) {
+		t.Fatal("cross-device Memcpy mismatch")
+	}
+
+	if _, err := Memcpy(dst, src, src.Size()+1); err == nil {
+		t.Error("oversized Memcpy must fail")
+	}
+	if _, err := Memcpy(dst, src, -1); err == nil {
+		t.Error("negative Memcpy must fail")
+	}
+}

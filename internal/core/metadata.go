@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"buddy/internal/cache"
 )
@@ -70,9 +71,12 @@ func (m *MetadataStore) OverheadFraction() float64 {
 // MetadataCache models the sliced, set-associative metadata cache (Fig. 5:
 // 4-way, 64 KB total split into 8 slices, one per DRAM channel; Tab. 2 uses
 // 4 KB per slice). Metadata lines are interleaved across slices with the
-// same hashing as regular physical addresses.
+// same hashing as regular physical addresses. It is safe for concurrent
+// use: each slice has its own lock, mirroring the per-DRAM-channel
+// independence of the hardware.
 type MetadataCache struct {
 	slices []*cache.Cache
+	locks  []sync.Mutex
 }
 
 // NewMetadataCache builds a cache of totalBytes split across nSlices
@@ -82,7 +86,10 @@ func NewMetadataCache(totalBytes, nSlices, ways int) *MetadataCache {
 		nSlices = 1
 	}
 	per := totalBytes / nSlices
-	mc := &MetadataCache{slices: make([]*cache.Cache, nSlices)}
+	mc := &MetadataCache{
+		slices: make([]*cache.Cache, nSlices),
+		locks:  make([]sync.Mutex, nSlices),
+	}
 	for i := range mc.slices {
 		mc.slices[i] = cache.New(per, ways, MetadataLineBytes)
 	}
@@ -97,17 +104,21 @@ func NewMetadataCache(totalBytes, nSlices, ways int) *MetadataCache {
 func (mc *MetadataCache) Access(entry int) bool {
 	byteAddr := uint64(entry) * MetadataBitsPerEntry / 8
 	line := byteAddr / MetadataLineBytes
-	sl := mc.slices[line%uint64(len(mc.slices))]
+	i := line % uint64(len(mc.slices))
 	local := line / uint64(len(mc.slices)) * MetadataLineBytes
-	return sl.Access(local)
+	mc.locks[i].Lock()
+	defer mc.locks[i].Unlock()
+	return mc.slices[i].Access(local)
 }
 
 // HitRate aggregates hits across slices.
 func (mc *MetadataCache) HitRate() float64 {
 	var h, m uint64
-	for _, s := range mc.slices {
+	for i, s := range mc.slices {
+		mc.locks[i].Lock()
 		h += s.Hits()
 		m += s.Misses()
+		mc.locks[i].Unlock()
 	}
 	if h+m == 0 {
 		return 0
@@ -117,8 +128,10 @@ func (mc *MetadataCache) HitRate() float64 {
 
 // Reset clears all slices.
 func (mc *MetadataCache) Reset() {
-	for _, s := range mc.slices {
+	for i, s := range mc.slices {
+		mc.locks[i].Lock()
 		s.Reset()
+		mc.locks[i].Unlock()
 	}
 }
 

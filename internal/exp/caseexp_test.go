@@ -133,6 +133,7 @@ func TestFig13dShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("SGD training study")
 	}
+	skipFidelitySweepUnderRace(t)
 	cfg := DefaultFig13dConfig()
 	cfg.Epochs = 25
 	rows := Fig13d(cfg)

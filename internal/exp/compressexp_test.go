@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"buddy/internal/race"
 	"buddy/internal/workloads"
 )
 
@@ -29,6 +30,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	skipFidelitySweepUnderRace(t)
 	res := Fig7(testScale)
 	// Paper's headline: naive 1.57x/8% HPC, 1.18x/32% DL;
 	// final 1.9x/0.08% HPC, 1.5x/4% DL. Assert ordering and bands.
@@ -78,6 +80,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	skipFidelitySweepUnderRace(t)
 	rows := Fig9(testScale, nil)
 	for _, row := range rows {
 		// Ratio non-decreasing and buddy fraction non-decreasing in the
@@ -213,5 +216,15 @@ func TestFormatTable(t *testing.T) {
 	}
 	if len(lines[0]) != len(lines[1]) {
 		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+// skipFidelitySweepUnderRace skips heavy single-threaded fidelity sweeps
+// when the race detector is on: they add minutes of wall-clock but no
+// concurrency coverage (the concurrent paths are stress-tested in core).
+func skipFidelitySweepUnderRace(t *testing.T) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("single-threaded fidelity sweep; skipped under -race")
 	}
 }

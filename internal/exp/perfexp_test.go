@@ -15,6 +15,7 @@ func TestFig11Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full performance sweep")
 	}
+	skipFidelitySweepUnderRace(t)
 	res := Fig11(16384, perfTestConfig(), nil)
 	byName := map[string]Fig11Row{}
 	for _, r := range res.Rows {
@@ -101,6 +102,7 @@ func TestFig10Validation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulator validation sweep")
 	}
+	skipFidelitySweepUnderRace(t)
 	cfg := ScaledSimConfig(0.2)
 	res := Fig10(16384, cfg)
 	t.Logf("correlation(log cycles)=%.3f  fast=%.4fs detailed=%.4fs speedup=%.0fx agreement=%.2f",

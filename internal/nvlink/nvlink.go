@@ -41,10 +41,17 @@ type Link struct {
 	TotalBytes [2]uint64
 }
 
-// New constructs a link.
+// New constructs a link. The rate fields default individually to the
+// NVLink2 point when zero, so a partially specified config (e.g. only the
+// bandwidth of a Fig. 11 sweep) still yields a finite-rate link. A zero
+// LatencyCycles is honored: zero latency is a meaningful model point.
 func New(cfg Config) *Link {
+	def := DefaultConfig()
 	if cfg.BandwidthGBs <= 0 {
-		cfg = DefaultConfig()
+		cfg.BandwidthGBs = def.BandwidthGBs
+	}
+	if cfg.CoreClockGHz <= 0 {
+		cfg.CoreClockGHz = def.CoreClockGHz
 	}
 	return &Link{cfg: cfg, bytesPerCycle: cfg.BandwidthGBs / cfg.CoreClockGHz}
 }
@@ -82,6 +89,11 @@ func (l *Link) Utilization(dir Direction, horizon float64) float64 {
 		u = 1
 	}
 	return u
+}
+
+// Totals returns the per-direction transferred byte counts.
+func (l *Link) Totals() (read, written uint64) {
+	return l.TotalBytes[Read], l.TotalBytes[Write]
 }
 
 // Reset clears queues and counters.

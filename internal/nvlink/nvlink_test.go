@@ -1,6 +1,9 @@
 package nvlink
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestFullDuplexIndependence(t *testing.T) {
 	l := New(DefaultConfig())
@@ -62,5 +65,19 @@ func TestStorageConfigs(t *testing.T) {
 	}
 	if HostCPU.String() == "" || PeerGPU.String() == "" || Disaggregated.String() == "" {
 		t.Error("StorageKind String broken")
+	}
+}
+
+func TestPartialConfigDefaultsRateFields(t *testing.T) {
+	// Only the bandwidth given (the Fig. 11 sweep style): the clock must
+	// default so the link has a finite rate, and zero latency is honored.
+	l := New(Config{BandwidthGBs: 50})
+	done := l.Request(0, Read, 1<<20)
+	if math.IsInf(done, 0) || math.IsNaN(done) || done <= 0 {
+		t.Fatalf("partial config produced a degenerate link: done=%f", done)
+	}
+	full := New(Config{BandwidthGBs: 50, CoreClockGHz: 1.3})
+	if got := full.Request(0, Read, 1<<20); got != done {
+		t.Errorf("partial config = %f cycles, fully specified rates = %f", done, got)
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package race reports whether the Go race detector is enabled, so heavy
+// single-threaded fidelity sweeps can skip themselves under -race (they add
+// wall-clock but no concurrency coverage).
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

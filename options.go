@@ -1,0 +1,93 @@
+package buddy
+
+import (
+	"buddy/internal/core"
+	"buddy/internal/nvlink"
+)
+
+// Option configures a Device built by New. The zero configuration is the
+// paper's final design (§3.5): BPC compression, a 12 GB device, a 3x NVLink
+// buddy carve-out and a 4-way sliced metadata cache.
+type Option func(*core.Config)
+
+// New creates a Buddy Compression device from the paper's final-design
+// defaults, adjusted by the given options:
+//
+//	dev := buddy.New(
+//		buddy.WithDeviceBytes(1<<30),
+//		buddy.WithCompressor(buddy.NewBPC()),
+//		buddy.WithCarveoutFactor(3),
+//	)
+func New(opts ...Option) *Device {
+	var cfg core.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.NewDevice(cfg)
+}
+
+// WithCompressor selects the memory compression algorithm (default BPC,
+// §2.4). See Compressors for the implemented baselines.
+func WithCompressor(c Compressor) Option {
+	return func(cfg *core.Config) { cfg.Compressor = c }
+}
+
+// WithDeviceBytes sets the GPU device-memory capacity available for
+// compressed allocations (default 12 GB).
+func WithDeviceBytes(n int64) Option {
+	return func(cfg *core.Config) { cfg.DeviceBytes = n }
+}
+
+// WithCarveoutFactor sizes the buddy carve-out relative to device memory;
+// the default 3x supports a 4x maximum target ratio (§3.2).
+func WithCarveoutFactor(k int) Option {
+	return func(cfg *core.Config) { cfg.CarveoutFactor = k }
+}
+
+// LinkConfig describes the interconnect to the buddy carve-out; the zero
+// value is NVLink2 (150 GB/s full-duplex, §2.3).
+type LinkConfig = nvlink.Config
+
+// WithLink configures the interconnect of the default buddy carve-out tier
+// (bandwidth, clock, latency) — the Fig. 11 sweep variable.
+func WithLink(link LinkConfig) Option {
+	return func(cfg *core.Config) { cfg.Link = link }
+}
+
+// WithMetadataCache sizes the sliced, set-associative metadata cache
+// (default 64 KB total, 8 slices, 4 ways; §3.2, Fig. 5).
+func WithMetadataCache(totalBytes, slices, ways int) Option {
+	return func(cfg *core.Config) {
+		cfg.MetadataCacheBytes = totalBytes
+		cfg.MetadataCacheSlices = slices
+		cfg.MetadataCacheWays = ways
+	}
+}
+
+// WithOverflowBackend replaces the overflow storage tier entirely. The
+// default is the paper's NVLink buddy carve-out of
+// DeviceBytes*CarveoutFactor; any Backend implementation (peer GPU,
+// disaggregated appliance, ...) can stand in.
+func WithOverflowBackend(b Backend) Option {
+	return func(cfg *core.Config) { cfg.Overflow = b }
+}
+
+// WithHostFallback routes overflow sectors to host unified memory behind a
+// demand pager instead of a buddy carve-out — the tier to use when no
+// NVLink buddy memory is attached. pageBytes is the migration granularity
+// (0 = 64 KB) and residentBytes bounds the pages kept hot.
+func WithHostFallback(pageBytes int, residentBytes int64) Option {
+	return func(cfg *core.Config) { cfg.Overflow = core.NewHostBackend(pageBytes, residentBytes) }
+}
+
+// NewCarveoutBackend builds the paper's overflow tier explicitly: a buddy
+// carve-out of the given capacity behind an interconnect link. Useful with
+// WithOverflowBackend to decouple carve-out size from device size.
+func NewCarveoutBackend(capacity int64, link LinkConfig) Backend {
+	return core.NewCarveoutBackend(capacity, link)
+}
+
+// NewHostBackend builds the host unified-memory fallback tier explicitly.
+func NewHostBackend(pageBytes int, residentBytes int64) Backend {
+	return core.NewHostBackend(pageBytes, residentBytes)
+}

@@ -1,0 +1,152 @@
+package buddy
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	// No options: the paper's final design — 12 GB device, 3x carve-out.
+	dev := New()
+	if got := dev.Carveout(); got != 3*(12<<30) {
+		t.Errorf("default carve-out = %d, want %d", got, int64(3*(12<<30)))
+	}
+	if dev.DeviceUsed() != 0 || dev.BuddyUsed() != 0 {
+		t.Error("fresh device reports usage")
+	}
+	primary, overflow := dev.Tiers()
+	if primary.Name() != "device-slab" || overflow.Name() != "buddy-carveout" {
+		t.Errorf("default tiers = %s/%s, want device-slab/buddy-carveout",
+			primary.Name(), overflow.Name())
+	}
+	if primary.Capacity() != 12<<30 {
+		t.Errorf("default device capacity = %d, want 12 GiB", primary.Capacity())
+	}
+}
+
+func TestNewOptionsOverrideDefaults(t *testing.T) {
+	dev := New(
+		WithDeviceBytes(1<<20),
+		WithCarveoutFactor(2),
+		WithCompressor(Compressors()[1]),
+		WithMetadataCache(8<<10, 2, 2),
+	)
+	primary, overflow := dev.Tiers()
+	if primary.Capacity() != 1<<20 {
+		t.Errorf("device capacity = %d, want 1 MiB", primary.Capacity())
+	}
+	if overflow.Capacity() != 2<<20 {
+		t.Errorf("carve-out capacity = %d, want 2 MiB", overflow.Capacity())
+	}
+	// Unset knobs still default: allocation works end to end.
+	a, err := dev.Malloc("x", 64<<10, Target2x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []byte("options api round trip")
+	if _, err := a.WriteAt(p, 11); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(p))
+	if _, err := a.ReadAt(got, 11); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Error("facade round-trip mismatch")
+	}
+}
+
+func TestWithHostFallback(t *testing.T) {
+	dev := New(WithDeviceBytes(1<<20), WithHostFallback(0, 64<<10))
+	_, overflow := dev.Tiers()
+	if overflow.Name() != "host-um" {
+		t.Fatalf("overflow tier = %s, want host-um", overflow.Name())
+	}
+	if dev.Carveout() >= 0 {
+		t.Error("host fallback should report unbounded capacity")
+	}
+	// Incompressible data under an aggressive target overflows to host
+	// memory and still round-trips.
+	a, err := dev.Malloc("spill", 8<<10, Target4x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, a.Size())
+	for i := range data {
+		data[i] = byte(i*2654435761 + i>>7)
+	}
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, a.Size())
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("host-fallback round-trip mismatch")
+	}
+	if tr := overflow.Traffic(); tr.Stores == 0 {
+		t.Error("incompressible data at 4x should have hit the overflow tier")
+	}
+}
+
+func TestAllocationIsReaderWriterAt(t *testing.T) {
+	var _ io.ReaderAt = (*Allocation)(nil)
+	var _ io.WriterAt = (*Allocation)(nil)
+	// And the device no longer leaks its allocation list.
+	dev := New(WithDeviceBytes(1 << 20))
+	if _, err := dev.Malloc("a", 4<<10, Target1x); err != nil {
+		t.Fatal(err)
+	}
+	list := dev.Allocations()
+	list[0] = nil
+	if dev.Allocations()[0] == nil {
+		t.Error("Allocations() returned the internal slice")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	reg := ExperimentRegistry()
+	if len(reg) != 15 {
+		t.Fatalf("registered experiments = %d, want 15", len(reg))
+	}
+	for _, e := range reg {
+		if e.Description == "" {
+			t.Errorf("experiment %s has no description", e.Name)
+		}
+		if e.Run == nil {
+			t.Errorf("experiment %s has no run function", e.Name)
+		}
+	}
+	if _, ok := LookupExperiment("FIG7"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, ok := LookupExperiment("no-such"); ok {
+		t.Error("lookup of unknown name should fail")
+	}
+	// The registry rejects corruption.
+	for _, bad := range []Experiment{
+		{Name: "tab1", Run: func(io.Writer, ExperimentScale) error { return nil }}, // duplicate
+		{Name: "", Run: func(io.Writer, ExperimentScale) error { return nil }},     // unnamed
+		{Name: "x"}, // no run function
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("registering %+v should panic", bad)
+				}
+			}()
+			RegisterExperiment(bad)
+		}()
+	}
+	// Registered order is stable and drives "all".
+	var sb strings.Builder
+	if err := RunExperiment(&sb, "tab1", QuickScale()); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() == 0 {
+		t.Error("registry-run experiment produced no output")
+	}
+}

@@ -1,0 +1,100 @@
+package buddy
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Experiment is one regenerable table or figure of the paper's evaluation,
+// registered by name so tools can discover and run it without hard-coded
+// switches.
+type Experiment struct {
+	// Name is the registry key (e.g. "fig7"); matching is case-insensitive.
+	Name string
+	// Description says what the experiment regenerates.
+	Description string
+	// Run writes the experiment's paper-style rows/series to w.
+	Run func(w io.Writer, sc ExperimentScale) error
+}
+
+var expRegistry = struct {
+	sync.RWMutex
+	order  []Experiment
+	byName map[string]int
+}{byName: make(map[string]int)}
+
+// RegisterExperiment adds an experiment to the registry. The package's own
+// experiments self-register at init; external tools may register more. It
+// panics on an empty name, a nil Run, or a duplicate registration —
+// registry corruption is a programming error.
+func RegisterExperiment(e Experiment) {
+	key := strings.ToLower(e.Name)
+	if key == "" || e.Run == nil {
+		panic("buddy: experiment needs a name and a run function")
+	}
+	expRegistry.Lock()
+	defer expRegistry.Unlock()
+	if _, dup := expRegistry.byName[key]; dup {
+		panic(fmt.Sprintf("buddy: experiment %q registered twice", e.Name))
+	}
+	expRegistry.byName[key] = len(expRegistry.order)
+	expRegistry.order = append(expRegistry.order, e)
+}
+
+// ExperimentRegistry returns the registered experiments in registration
+// order (the package's own follow the paper's figure order).
+func ExperimentRegistry() []Experiment {
+	expRegistry.RLock()
+	defer expRegistry.RUnlock()
+	out := make([]Experiment, len(expRegistry.order))
+	copy(out, expRegistry.order)
+	return out
+}
+
+// LookupExperiment finds a registered experiment by (case-insensitive)
+// name.
+func LookupExperiment(name string) (Experiment, bool) {
+	expRegistry.RLock()
+	defer expRegistry.RUnlock()
+	i, ok := expRegistry.byName[strings.ToLower(name)]
+	if !ok {
+		return Experiment{}, false
+	}
+	return expRegistry.order[i], true
+}
+
+// Experiments lists the registered experiment names.
+func Experiments() []string {
+	reg := ExperimentRegistry()
+	names := make([]string, len(reg))
+	for i, e := range reg {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// RunExperiment regenerates one registered table or figure ("all" runs
+// every one in order) and writes the paper-style rows/series to w.
+func RunExperiment(w io.Writer, name string, sc ExperimentScale) error {
+	if sc.Workload == 0 {
+		sc = DefaultScale()
+	}
+	if strings.EqualFold(name, "all") {
+		for _, e := range ExperimentRegistry() {
+			fmt.Fprintf(w, "==== %s ====\n", e.Name)
+			if err := e.Run(w, sc); err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	e, ok := LookupExperiment(name)
+	if !ok {
+		return fmt.Errorf("buddy: unknown experiment %q (have %s)",
+			name, strings.Join(Experiments(), ", "))
+	}
+	return e.Run(w, sc)
+}
