@@ -1,0 +1,37 @@
+# Developer entry points; CI runs the same targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-json fuzz
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Codec and bulk-I/O data-path benchmarks, human-readable. Pass CPU=1,4 to
+# see the GOMAXPROCS scaling of the parallel bulk path.
+CPU ?=
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem $(if $(CPU),-cpu $(CPU)) \
+		./internal/compress/ ./internal/core/
+
+# Same codec/bulk-I/O benchmarks as one-shot JSON, the artifact CI uploads
+# per PR (root-package figure benches are excluded as too heavy for PR CI).
+bench-json:
+	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime=1x -count=1 \
+		./internal/compress/ ./internal/core/ > BENCH_pr.json
+
+# Short fuzz pass over all six codecs.
+fuzz:
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/compress/
+	$(GO) test -fuzz FuzzDecompressArbitrary -fuzztime 15s ./internal/compress/

@@ -8,7 +8,8 @@
 //     an overflow tier (New, Device.Malloc),
 //   - a byte-addressed bulk I/O surface — Allocation satisfies io.ReaderAt
 //     and io.WriterAt, and Memcpy mirrors cudaMemcpy — so callers never
-//     deal in 128 B entries,
+//     deal in 128 B entries; aligned spans compress and decompress in
+//     parallel across a bounded worker pool (WriteEntries, ReadEntries),
 //   - pluggable storage tiers behind the Backend interface: the paper's
 //     NVLink buddy carve-out, plus a host unified-memory fallback
 //     (WithHostFallback) and room for peer-GPU or disaggregated tiers,
@@ -79,7 +80,14 @@ func Memcpy(dst, src *Allocation, n int64) (int64, error) {
 	return core.Memcpy(dst, src, n)
 }
 
-// Compressor compresses 128 B memory-entries.
+// Codec is the single-pass, allocation-free compression API: one
+// AppendCompressed encode yields both the framed stream and its exact bit
+// length, and DecompressInto decodes into caller memory.
+type Codec = compress.Codec
+
+// Compressor is a Codec that also carries the legacy allocate-per-call
+// methods (CompressedBits, Compress, Decompress), kept as thin adapters for
+// one release.
 type Compressor = compress.Compressor
 
 // NewBPC returns Bit-Plane Compression, the paper's chosen algorithm.

@@ -49,20 +49,26 @@ func bdiPayloadBits(e bdiEncoding) int {
 	return e.baseBytes*8 + elems + elems*e.deltaBits
 }
 
-func bdiElems(entry []byte, baseBytes int) []uint64 {
-	n := EntryBytes / baseBytes
-	out := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		switch baseBytes {
-		case 2:
-			out[i] = uint64(binary.LittleEndian.Uint16(entry[i*2:]))
-		case 4:
-			out[i] = uint64(binary.LittleEndian.Uint32(entry[i*4:]))
-		default:
-			out[i] = binary.LittleEndian.Uint64(entry[i*8:])
-		}
+// bdiMaxElems is the element count of the narrowest base (2 B): 64.
+const bdiMaxElems = EntryBytes / 2
+
+// bdiScratch holds one encoding attempt's element assignments; fixed-size
+// arrays keep the encode allocation-free.
+type bdiScratch struct {
+	base   uint64
+	mask   [bdiMaxElems]bool
+	deltas [bdiMaxElems]uint64
+}
+
+func bdiElem(entry []byte, baseBytes, i int) uint64 {
+	switch baseBytes {
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(entry[i*2:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(entry[i*4:]))
+	default:
+		return binary.LittleEndian.Uint64(entry[i*8:])
 	}
-	return out
 }
 
 func signedFits(v uint64, width, deltaBits int) bool {
@@ -76,30 +82,31 @@ func signExtend(v uint64, bits int) int64 {
 	return int64(v<<shift) >> shift
 }
 
-// bdiTry reports whether encoding e can represent entry and, if so, the base
-// and per-element (useZeroBase, delta) assignments.
-func bdiTry(entry []byte, e bdiEncoding) (base uint64, mask []bool, deltas []uint64, ok bool) {
-	elems := bdiElems(entry, e.baseBytes)
-	mask = make([]bool, len(elems))
-	deltas = make([]uint64, len(elems))
+// bdiTry reports whether encoding e can represent entry, filling st with the
+// base and per-element (useZeroBase, delta) assignments.
+func bdiTry(entry []byte, e bdiEncoding, st *bdiScratch) bool {
+	elems := EntryBytes / e.baseBytes
 	haveBase := false
-	for i, v := range elems {
+	st.base = 0
+	for i := 0; i < elems; i++ {
+		v := bdiElem(entry, e.baseBytes, i)
 		if signedFits(v, e.baseBytes, e.deltaBits) {
-			mask[i] = true // immediate: relative to zero base
-			deltas[i] = v
+			st.mask[i] = true // immediate: relative to zero base
+			st.deltas[i] = v
 			continue
 		}
+		st.mask[i] = false
 		if !haveBase {
-			base = v
+			st.base = v
 			haveBase = true
 		}
-		d := v - base
+		d := v - st.base
 		if !signedFits(d, e.baseBytes, e.deltaBits) {
-			return 0, nil, nil, false
+			return false
 		}
-		deltas[i] = d
+		st.deltas[i] = d
 	}
-	return base, mask, deltas, true
+	return true
 }
 
 func bdiAllZero(entry []byte) bool {
@@ -121,27 +128,16 @@ func bdiRepeated8(entry []byte) (uint64, bool) {
 	return v, true
 }
 
-// CompressedBits implements Compressor.
-func (BDI) CompressedBits(entry []byte) int {
+// AppendCompressed implements Codec. BDI carries no separate framing bit —
+// the 4-bit encoding ID is the frame — so the reported bits are the full
+// stream for compressed encodings and the raw cap of EntryBytes*8 for the
+// ID-15 fallback (the ID is hardware metadata there, as with the other
+// codecs' framing flag).
+func (BDI) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
-	if bdiAllZero(entry) {
-		return 4
-	}
-	if _, ok := bdiRepeated8(entry); ok {
-		return 4 + 64
-	}
-	for _, e := range bdiEncodings {
-		if _, _, _, ok := bdiTry(entry, e); ok {
-			return 4 + bdiPayloadBits(e)
-		}
-	}
-	return EntryBytes * 8
-}
-
-// Compress implements Compressor.
-func (BDI) Compress(entry []byte) []byte {
-	checkEntry(entry)
-	w := NewBitWriter(EntryBytes*8 + 8)
+	start := len(dst)
+	var w BitWriter
+	w.Reset(dst)
 	switch {
 	case bdiAllZero(entry):
 		w.WriteBits(0, 4)
@@ -151,54 +147,55 @@ func (BDI) Compress(entry []byte) []byte {
 			w.WriteBits(v, 64)
 			break
 		}
+		var st bdiScratch
 		done := false
 		for _, e := range bdiEncodings {
-			base, mask, deltas, ok := bdiTry(entry, e)
-			if !ok {
+			if !bdiTry(entry, e, &st) {
 				continue
 			}
+			elems := EntryBytes / e.baseBytes
 			w.WriteBits(uint64(e.id), 4)
-			w.WriteBits(base, e.baseBytes*8)
-			for _, m := range mask {
-				if m {
+			w.WriteBits(st.base, e.baseBytes*8)
+			for i := 0; i < elems; i++ {
+				if st.mask[i] {
 					w.WriteBits(1, 1)
 				} else {
 					w.WriteBits(0, 1)
 				}
 			}
-			for _, d := range deltas {
-				w.WriteBits(d, e.deltaBits)
+			for i := 0; i < elems; i++ {
+				w.WriteBits(st.deltas[i], e.deltaBits)
 			}
 			done = true
 			break
 		}
 		if !done {
 			w.WriteBits(15, 4)
-			for _, b := range entry {
-				w.WriteBits(uint64(b), 8)
-			}
+			w.WriteBytes(entry)
 		}
 	}
-	return w.Bytes()
+	bits := w.Len() - start*8
+	if bits >= EntryBytes*8 {
+		bits = EntryBytes * 8
+	}
+	return w.Bytes(), bits
 }
 
-// Decompress implements Compressor.
-func (BDI) Decompress(comp []byte) ([]byte, error) {
+// DecompressInto implements Codec.
+func (BDI) DecompressInto(dst, comp []byte) error {
+	checkDst(dst)
 	r := NewBitReader(comp)
-	out := make([]byte, EntryBytes)
 	id := uint8(r.ReadBits(4))
 	switch id {
 	case 0:
-		return out, nil
+		clear(dst)
 	case 1:
 		v := r.ReadBits(64)
 		for i := 0; i < EntryBytes; i += 8 {
-			binary.LittleEndian.PutUint64(out[i:], v)
+			binary.LittleEndian.PutUint64(dst[i:], v)
 		}
 	case 15:
-		for i := range out {
-			out[i] = byte(r.ReadBits(8))
-		}
+		return decodeRawEntry(dst, r)
 	default:
 		var enc *bdiEncoding
 		for i := range bdiEncodings {
@@ -208,12 +205,12 @@ func (BDI) Decompress(comp []byte) ([]byte, error) {
 			}
 		}
 		if enc == nil {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		elems := EntryBytes / enc.baseBytes
 		base := r.ReadBits(enc.baseBytes * 8)
-		mask := make([]bool, elems)
-		for i := range mask {
+		var mask [bdiMaxElems]bool
+		for i := 0; i < elems; i++ {
 			mask[i] = r.ReadBits(1) == 1
 		}
 		for i := 0; i < elems; i++ {
@@ -224,16 +221,31 @@ func (BDI) Decompress(comp []byte) ([]byte, error) {
 			}
 			switch enc.baseBytes {
 			case 2:
-				binary.LittleEndian.PutUint16(out[i*2:], uint16(v))
+				binary.LittleEndian.PutUint16(dst[i*2:], uint16(v))
 			case 4:
-				binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+				binary.LittleEndian.PutUint32(dst[i*4:], uint32(v))
 			default:
-				binary.LittleEndian.PutUint64(out[i*8:], v)
+				binary.LittleEndian.PutUint64(dst[i*8:], v)
 			}
 		}
 	}
 	if r.Overrun() {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	return out, nil
+	return nil
 }
+
+// CompressedBits implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c BDI) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
+
+// Compress implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c BDI) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
+
+// Decompress implements Compressor.
+//
+// Deprecated: use DecompressInto.
+func (c BDI) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }

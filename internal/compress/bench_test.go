@@ -1,0 +1,69 @@
+package compress
+
+import (
+	"testing"
+
+	"buddy/internal/gen"
+)
+
+// Codec micro-benchmarks: the single-pass surface per algorithm, on a
+// GPU-typical FP64 field (the same data shape as the §2.4 comparison).
+// Steady state must report 0 B/op — the pooled-scratch contract the core
+// data path relies on.
+
+func benchEntry(b *testing.B) []byte {
+	b.Helper()
+	entry := make([]byte, EntryBytes)
+	gen.Noisy64{NoiseBits: 8, HiStep: 1}.Fill(entry, gen.NewRNG(1, 1))
+	return entry
+}
+
+// BenchmarkAppendCompressed measures one full encode (stream + exact bits)
+// per entry with a reused scratch buffer.
+func BenchmarkAppendCompressed(b *testing.B) {
+	entry := benchEntry(b)
+	for _, c := range Registry() {
+		b.Run(c.Name(), func(b *testing.B) {
+			scratch := make([]byte, 0, MaxStreamBytes)
+			b.SetBytes(EntryBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stream, _ := c.AppendCompressed(scratch[:0], entry)
+				scratch = stream[:0]
+			}
+		})
+	}
+}
+
+// BenchmarkDecompressInto measures one full decode into caller memory.
+func BenchmarkDecompressInto(b *testing.B) {
+	entry := benchEntry(b)
+	dst := make([]byte, EntryBytes)
+	for _, c := range Registry() {
+		b.Run(c.Name(), func(b *testing.B) {
+			stream, _ := c.AppendCompressed(nil, entry)
+			b.SetBytes(EntryBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.DecompressInto(dst, stream); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLegacyCompress measures the deprecated allocate-per-call surface
+// for comparison against BenchmarkAppendCompressed.
+func BenchmarkLegacyCompress(b *testing.B) {
+	entry := benchEntry(b)
+	for _, c := range Registry() {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(EntryBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Compress(entry)
+			}
+		})
+	}
+}

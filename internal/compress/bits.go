@@ -3,6 +3,15 @@ package compress
 // BitWriter accumulates a big-endian bit stream. Compressors use it to
 // produce the exact encoded bit layout, so compressed sizes are bit-accurate
 // rather than estimated.
+//
+// A BitWriter can append into caller-provided storage: Reset points it at an
+// existing slice and subsequent writes extend that slice in place (growing
+// it only when capacity runs out). This is what makes the single-pass
+// AppendCompressed codec path allocation-free: the destination is a pooled
+// scratch buffer whose capacity already covers MaxStreamBytes.
+//
+// Bits are written in whole-byte chunks rather than one at a time, so the
+// cost per WriteBits call is O(n/8), not O(n).
 type BitWriter struct {
 	buf  []byte
 	nbit int
@@ -13,18 +22,54 @@ func NewBitWriter(n int) *BitWriter {
 	return &BitWriter{buf: make([]byte, 0, (n+7)/8)}
 }
 
+// Reset points the writer at dst: subsequent writes append to dst starting
+// at the next byte boundary. Passing a truncated prefix of the writer's own
+// buffer rewinds it (the raw-fallback path of AppendCompressed).
+func (w *BitWriter) Reset(dst []byte) {
+	w.buf = dst
+	w.nbit = len(dst) * 8
+}
+
 // WriteBits appends the low n bits of v, most-significant bit first.
 func (w *BitWriter) WriteBits(v uint64, n int) {
-	for i := n - 1; i >= 0; i-- {
-		bit := byte(v>>uint(i)) & 1
-		byteIdx := w.nbit >> 3
-		if byteIdx == len(w.buf) {
-			w.buf = append(w.buf, 0)
+	if n <= 0 {
+		return
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	if off := w.nbit & 7; off != 0 {
+		// Fill the free low bits of the partial last byte first.
+		space := 8 - off
+		if n < space {
+			w.buf[len(w.buf)-1] |= byte(v << uint(space-n))
+			w.nbit += n
+			return
 		}
-		if bit != 0 {
-			w.buf[byteIdx] |= 1 << uint(7-w.nbit&7)
-		}
-		w.nbit++
+		w.buf[len(w.buf)-1] |= byte(v >> uint(n-space))
+		w.nbit += space
+		n -= space
+	}
+	for n >= 8 {
+		n -= 8
+		w.buf = append(w.buf, byte(v>>uint(n)))
+		w.nbit += 8
+	}
+	if n > 0 {
+		w.buf = append(w.buf, byte(v<<uint(8-n)))
+		w.nbit += n
+	}
+}
+
+// WriteBytes appends all of p, 8 bits per byte.
+func (w *BitWriter) WriteBytes(p []byte) {
+	if w.nbit&7 == 0 {
+		w.buf = append(w.buf, p...)
+		w.nbit += len(p) * 8
+		return
+	}
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
 	}
 }
 
@@ -43,18 +88,32 @@ type BitReader struct {
 // NewBitReader wraps buf for reading.
 func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
 
+// Reset rewinds the reader onto buf.
+func (r *BitReader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+}
+
 // ReadBits reads n bits and returns them right-aligned. Reading past the end
 // of the buffer yields zero bits, which callers treat as a framing error via
-// Overrun.
+// Overrun. Like WriteBits it consumes byte-sized chunks, not single bits.
 func (r *BitReader) ReadBits(n int) uint64 {
 	var v uint64
-	for i := 0; i < n; i++ {
-		v <<= 1
+	for n > 0 {
 		byteIdx := r.pos >> 3
-		if byteIdx < len(r.buf) {
-			v |= uint64(r.buf[byteIdx]>>uint(7-r.pos&7)) & 1
+		if byteIdx >= len(r.buf) {
+			v <<= uint(n)
+			r.pos += n
+			return v
 		}
-		r.pos++
+		off := r.pos & 7
+		take := 8 - off
+		if take > n {
+			take = n
+		}
+		v = v<<uint(take) | uint64(r.buf[byteIdx]<<uint(off)>>uint(8-take))
+		r.pos += take
+		n -= take
 	}
 	return v
 }

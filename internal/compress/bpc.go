@@ -105,10 +105,9 @@ func bpcReadBase(r *BitReader) uint32 {
 	}
 }
 
-// bpcEncode writes the full encoded stream for entry and returns the writer.
-func bpcEncode(entry []byte) *BitWriter {
+// bpcEncodeTo writes the full (unframed) encoded stream for entry to w.
+func bpcEncodeTo(w *BitWriter, entry []byte) {
 	base, dbp := bpcPlanesOf(entry)
-	w := NewBitWriter(bpcRawBits + 64)
 	bpcWriteBase(w, base)
 	b := bpcPlanes - 1 // encode MSB plane first
 	for b >= 0 {
@@ -145,54 +144,31 @@ func bpcEncode(entry []byte) *BitWriter {
 		}
 		b--
 	}
-	return w
 }
 
-// CompressedBits implements Compressor.
-func (BPC) CompressedBits(entry []byte) int {
+// AppendCompressed implements Codec: one encode produces both the framed
+// stream (first bit 0 = BPC stream, 1 = raw 128 bytes) and the payload bit
+// count, capped at the raw 1024 bits.
+func (BPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
-	n := bpcEncode(entry).Len()
-	if n >= bpcRawBits {
-		return bpcRawBits
+	start := len(dst)
+	var w BitWriter
+	w.Reset(dst)
+	w.WriteBits(0, 1)
+	bpcEncodeTo(&w, entry)
+	if bits := w.Len() - start*8 - 1; bits < EntryBytes*8 {
+		return w.Bytes(), bits
 	}
-	return n
+	rawFallback(&w, start, entry)
+	return w.Bytes(), EntryBytes * 8
 }
 
-// Compress implements Compressor. The first bit is a framing flag: 0 means
-// BPC stream follows, 1 means the raw 128 bytes follow.
-func (BPC) Compress(entry []byte) []byte {
-	checkEntry(entry)
-	enc := bpcEncode(entry)
-	if enc.Len() >= bpcRawBits {
-		out := NewBitWriter(1 + bpcRawBits)
-		out.WriteBits(1, 1)
-		for _, by := range entry {
-			out.WriteBits(uint64(by), 8)
-		}
-		return out.Bytes()
-	}
-	out := NewBitWriter(1 + enc.Len())
-	out.WriteBits(0, 1)
-	// Re-encode through the framed writer to keep bit alignment exact.
-	src := NewBitReader(enc.Bytes())
-	for i := 0; i < enc.Len(); i++ {
-		out.WriteBits(src.ReadBits(1), 1)
-	}
-	return out.Bytes()
-}
-
-// Decompress implements Compressor.
-func (BPC) Decompress(comp []byte) ([]byte, error) {
+// DecompressInto implements Codec.
+func (BPC) DecompressInto(dst, comp []byte) error {
+	checkDst(dst)
 	r := NewBitReader(comp)
-	out := make([]byte, EntryBytes)
 	if r.ReadBits(1) == 1 {
-		for i := range out {
-			out[i] = byte(r.ReadBits(8))
-		}
-		if r.Overrun() {
-			return nil, ErrCorrupt
-		}
-		return out, nil
+		return decodeRawEntry(dst, r)
 	}
 	base := bpcReadBase(r)
 	var dbp [bpcPlanes + 1]uint32
@@ -232,7 +208,7 @@ func (BPC) Decompress(comp []byte) ([]byte, error) {
 		b--
 	}
 	if r.Overrun() {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	words := [bpcWords]uint32{0: base}
 	for i := 0; i < bpcDeltas; i++ {
@@ -247,7 +223,22 @@ func (BPC) Decompress(comp []byte) ([]byte, error) {
 		words[i+1] = uint32(int64(words[i]) + sd)
 	}
 	for i, wv := range words {
-		binary.LittleEndian.PutUint32(out[i*4:], wv)
+		binary.LittleEndian.PutUint32(dst[i*4:], wv)
 	}
-	return out, nil
+	return nil
 }
+
+// CompressedBits implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c BPC) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
+
+// Compress implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c BPC) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
+
+// Decompress implements Compressor.
+//
+// Deprecated: use DecompressInto.
+func (c BPC) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }

@@ -1,18 +1,27 @@
 // Package compress implements the hardware memory-compression algorithms the
 // paper evaluates (§2.4): Bit-Plane Compression (BPC, the chosen algorithm),
 // plus the baselines it was compared against — Base-Delta-Immediate (BDI),
-// Frequent Pattern Compression (FPC), C-PACK, and trivial zero compression.
+// Frequent Pattern Compression (FPC), C-PACK and trivial zero compression.
 //
 // All compressors operate on one 128-byte memory-entry, the compression
 // granularity Buddy Compression adopts (one GPU cache block). Compression is
-// bit-exact: Compress produces the real encoded bit stream and Decompress
+// bit-exact: the codec produces the real encoded bit stream and decoding
 // restores the original 128 bytes, so the rest of the system can store and
 // round-trip genuine compressed bytes through the modeled memories.
+//
+// The primary API is Codec: a single-pass, allocation-free surface.
+// AppendCompressed encodes an entry once, appending the framed stream to a
+// caller-provided buffer and returning the exact payload bit count — the
+// quantity the Buddy metadata needs — from that same encode. DecompressInto
+// decodes straight into caller memory. The legacy Compressor methods
+// (CompressedBits, Compress, Decompress) remain as thin adapters over Codec
+// for one release.
 package compress
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // EntryBytes is the paper's compression granularity: a 128 B memory-entry,
@@ -26,22 +35,154 @@ const SectorBytes = 32
 // SectorsPerEntry is EntryBytes / SectorBytes = 4.
 const SectorsPerEntry = EntryBytes / SectorBytes
 
-// ErrCorrupt is returned by Decompress when the encoded stream is malformed.
+// MaxStreamBytes bounds the framed stream any built-in codec appends for one
+// entry. The worst case is FVC's fully-missing dictionary stream: 3 bits of
+// count, 8 x 32 dictionary bits, 32 x 33 word bits plus the 1-bit framing =
+// 1316 bits = 165 bytes; the bound leaves headroom for future codecs.
+// Scratch buffers of this capacity make AppendCompressed allocation-free.
+const MaxStreamBytes = 192
+
+// ErrCorrupt is returned when an encoded stream is malformed or truncated.
 var ErrCorrupt = errors.New("compress: corrupt stream")
 
-// A Compressor compresses and decompresses single 128 B memory-entries.
-type Compressor interface {
+// A Codec compresses and decompresses single 128 B memory-entries in one
+// pass, without allocating.
+//
+// Implementations must be safe for concurrent use: the driver's bulk path
+// fans a single codec out across many goroutines (one WriteAt can invoke
+// AppendCompressed from GOMAXPROCS workers at once). Stateless codecs — all
+// built-ins here — satisfy this trivially; keep any per-call state on the
+// stack or in the caller-provided dst, never in receiver fields.
+type Codec interface {
 	// Name identifies the algorithm (e.g. "bpc").
 	Name() string
-	// CompressedBits returns the exact size of the encoded entry in bits.
+	// AppendCompressed encodes entry once, appends the framed stream to dst
+	// (which may be nil or a reused scratch buffer; the stream starts at a
+	// byte boundary after dst's existing contents) and returns the extended
+	// slice together with the exact payload size in bits. The bit count
+	// excludes the software model's stream framing and is capped at
+	// EntryBytes*8 — the value the 4-bit Buddy metadata is derived from.
 	// entry must be EntryBytes long.
+	AppendCompressed(dst, entry []byte) (stream []byte, bits int)
+	// DecompressInto decodes a stream produced by AppendCompressed (or the
+	// legacy Compress) into dst, which must be EntryBytes long. On error
+	// dst's contents are unspecified.
+	DecompressInto(dst, comp []byte) error
+}
+
+// A Compressor is a Codec that also carries the legacy allocate-per-call
+// methods. All built-in algorithms implement it; the extra methods are thin
+// adapters over the Codec surface and will be removed after one release.
+type Compressor interface {
+	Codec
+	// CompressedBits returns the exact size of the encoded entry in bits.
+	//
+	// Deprecated: use AppendCompressed, which returns the same bit count
+	// from the single encode that also produces the stream.
 	CompressedBits(entry []byte) int
 	// Compress returns the encoded representation of entry. The result is
 	// zero-padded to a whole number of bytes.
+	//
+	// Deprecated: use AppendCompressed with a reused scratch buffer.
 	Compress(entry []byte) []byte
 	// Decompress decodes a stream produced by Compress back into 128 bytes.
+	//
+	// Deprecated: use DecompressInto with caller-owned memory.
 	Decompress(comp []byte) ([]byte, error)
 }
+
+// scratchPool recycles encode scratch buffers for the legacy adapters and
+// one-shot helpers; hot paths hold their own buffers instead.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, MaxStreamBytes)
+		return &b
+	},
+}
+
+// legacyBits implements the CompressedBits adapters: one encode into pooled
+// scratch, keep only the bit count.
+func legacyBits(c Codec, entry []byte) int {
+	bp := scratchPool.Get().(*[]byte)
+	stream, bits := c.AppendCompressed((*bp)[:0], entry)
+	*bp = stream[:0]
+	scratchPool.Put(bp)
+	return bits
+}
+
+// legacyCompress implements the Compress adapters: a fresh exact-size copy
+// of the framed stream.
+func legacyCompress(c Codec, entry []byte) []byte {
+	bp := scratchPool.Get().(*[]byte)
+	stream, _ := c.AppendCompressed((*bp)[:0], entry)
+	out := make([]byte, len(stream))
+	copy(out, stream)
+	*bp = stream[:0]
+	scratchPool.Put(bp)
+	return out
+}
+
+// legacyDecompress implements the Decompress adapters.
+func legacyDecompress(c Codec, comp []byte) ([]byte, error) {
+	dst := make([]byte, EntryBytes)
+	if err := c.DecompressInto(dst, comp); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// rawFallback rewinds w to the framing position at byte offset start and
+// stores entry uncompressed behind a 1 framing bit — the shared tail of
+// every codec's AppendCompressed when the encode reaches the raw size.
+// (Each codec inlines the framing rather than passing its encoder as a
+// function value so the BitWriter stays on the caller's stack: escape
+// analysis cannot see through an indirect call, and the whole point of the
+// single-pass API is a zero-allocation steady state.)
+func rawFallback(w *BitWriter, start int, entry []byte) {
+	w.Reset(w.Bytes()[:start])
+	w.WriteBits(1, 1)
+	w.WriteBytes(entry)
+}
+
+// decodeRawEntry reads dst's worth of raw bytes from r (the 1-framing-bit
+// fallback payload shared by BPC, FPC, C-PACK, FVC and zero).
+func decodeRawEntry(dst []byte, r *BitReader) error {
+	for i := range dst {
+		dst[i] = byte(r.ReadBits(8))
+	}
+	if r.Overrun() {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// A Sizer measures compressed entry sizes with exactly one encode per entry,
+// reusing one scratch buffer across calls. It is the tool for profiling and
+// heat-map sweeps that only need sizes; it is not safe for concurrent use —
+// create one per goroutine.
+type Sizer struct {
+	c   Codec
+	buf []byte
+}
+
+// NewSizer returns a Sizer over codec c.
+func NewSizer(c Codec) *Sizer {
+	return &Sizer{c: c, buf: make([]byte, 0, MaxStreamBytes)}
+}
+
+// Bits returns the exact compressed payload size of entry in bits.
+func (s *Sizer) Bits(entry []byte) int {
+	stream, bits := s.c.AppendCompressed(s.buf[:0], entry)
+	s.buf = stream[:0]
+	return bits
+}
+
+// Bytes returns the compressed size rounded up to whole bytes.
+func (s *Sizer) Bytes(entry []byte) int { return (s.Bits(entry) + 7) / 8 }
+
+// Sectors returns the 32 B sector count of entry's compressed form — the
+// quantity the 4-bit Buddy metadata stores.
+func (s *Sizer) Sectors(entry []byte) int { return SectorsForBits(s.Bits(entry)) }
 
 // OptimisticSizes are the eight compressed memory-entry sizes assumed by the
 // paper's optimistic capacity study (Fig. 3): 0, 8, 16, 32, 64, 80, 96 and
@@ -67,22 +208,29 @@ func RoundToClass(size int, classes []int) int {
 // CompressedBytes returns the compressor's encoded size rounded up to whole
 // bytes.
 func CompressedBytes(c Compressor, entry []byte) int {
-	return (c.CompressedBits(entry) + 7) / 8
+	return (legacyBits(c, entry) + 7) / 8
 }
 
-// SectorsNeeded returns how many 32 B sectors the compressed form of entry
-// occupies: the quantity the Buddy design stores in its 4-bit per-entry
-// metadata. The result is in [0, 4]; 0 means the entry compresses into the
-// zero-page budget (<= 8 B, §3.4 "Special Case For Mostly-Zero Allocations").
-// The zero-page class requires the payload plus the software model's 1-bit
-// stream framing to fit 64 bits, so the boundary is 63 payload bits.
-func SectorsNeeded(c Compressor, entry []byte) int {
-	bits := c.CompressedBits(entry)
+// SectorsForBits returns how many 32 B sectors a compressed payload of the
+// given bit length occupies: the quantity the Buddy design stores in its
+// 4-bit per-entry metadata. The result is in [0, 4]; 0 means the entry
+// compresses into the zero-page budget (<= 8 B, §3.4 "Special Case For
+// Mostly-Zero Allocations"). The zero-page class requires the payload plus
+// the software model's 1-bit stream framing to fit 64 bits, so the boundary
+// is 63 payload bits.
+func SectorsForBits(bits int) int {
 	if bits < ZeroPageBytes*8 {
 		return 0
 	}
 	b := (bits + 7) / 8
 	return (b + SectorBytes - 1) / SectorBytes
+}
+
+// SectorsNeeded returns the sector count of entry's compressed form under c.
+// Prefer a Sizer (or AppendCompressed directly) in loops: this convenience
+// re-encodes the entry each call.
+func SectorsNeeded(c Compressor, entry []byte) int {
+	return SectorsForBits(legacyBits(c, entry))
 }
 
 // ZeroPageBytes is the per-entry device budget of the 16x mostly-zero target
@@ -105,6 +253,14 @@ func Ratio(size int) float64 {
 func checkEntry(entry []byte) {
 	if len(entry) != EntryBytes {
 		panic(fmt.Sprintf("compress: entry must be %d bytes, got %d", EntryBytes, len(entry)))
+	}
+}
+
+// checkDst panics if a DecompressInto destination is not exactly EntryBytes
+// long; a wrong-size destination is a programming error, not a stream error.
+func checkDst(dst []byte) {
+	if len(dst) != EntryBytes {
+		panic(fmt.Sprintf("compress: dst must be %d bytes, got %d", EntryBytes, len(dst)))
 	}
 }
 

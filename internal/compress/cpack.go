@@ -95,52 +95,30 @@ func cpackEncode(entry []byte, w *BitWriter) {
 	}
 }
 
-// CompressedBits implements Compressor.
-func (CPack) CompressedBits(entry []byte) int {
-	checkEntry(entry)
-	w := NewBitWriter(EntryBytes*8 + 64)
-	cpackEncode(entry, w)
-	if w.Len() >= EntryBytes*8 {
-		return EntryBytes * 8
-	}
-	return w.Len()
-}
-
-// Compress implements Compressor; the leading framing bit (0 = C-PACK
+// AppendCompressed implements Codec; the leading framing bit (0 = C-PACK
 // stream, 1 = raw) mirrors BPC/FPC.
-func (CPack) Compress(entry []byte) []byte {
+func (CPack) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
-	enc := NewBitWriter(EntryBytes*8 + 64)
-	cpackEncode(entry, enc)
-	out := NewBitWriter(1 + enc.Len())
-	if enc.Len() >= EntryBytes*8 {
-		out.WriteBits(1, 1)
-		for _, b := range entry {
-			out.WriteBits(uint64(b), 8)
-		}
-		return out.Bytes()
+	start := len(dst)
+	var w BitWriter
+	w.Reset(dst)
+	w.WriteBits(0, 1)
+	cpackEncode(entry, &w)
+	if bits := w.Len() - start*8 - 1; bits < EntryBytes*8 {
+		return w.Bytes(), bits
 	}
-	out.WriteBits(0, 1)
-	src := NewBitReader(enc.Bytes())
-	for i := 0; i < enc.Len(); i++ {
-		out.WriteBits(src.ReadBits(1), 1)
-	}
-	return out.Bytes()
+	rawFallback(&w, start, entry)
+	return w.Bytes(), EntryBytes * 8
 }
 
-// Decompress implements Compressor.
-func (CPack) Decompress(comp []byte) ([]byte, error) {
+// DecompressInto implements Codec.
+func (CPack) DecompressInto(dst, comp []byte) error {
+	checkDst(dst)
 	r := NewBitReader(comp)
-	out := make([]byte, EntryBytes)
 	if r.ReadBits(1) == 1 {
-		for i := range out {
-			out[i] = byte(r.ReadBits(8))
-		}
-		if r.Overrun() {
-			return nil, ErrCorrupt
-		}
-		return out, nil
+		return decodeRawEntry(dst, r)
 	}
+	clear(dst) // zero words are skipped, not written
 	var dict cpackDict
 	for i := 0; i < bpcWords; i++ {
 		var v uint32
@@ -154,7 +132,7 @@ func (CPack) Decompress(comp []byte) ([]byte, error) {
 		} else if r.ReadBits(1) == 0 { // 10: full match
 			idx := int(r.ReadBits(4))
 			if idx >= dict.n {
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
 			v = dict.entries[idx]
 		} else {
@@ -162,7 +140,7 @@ func (CPack) Decompress(comp []byte) ([]byte, error) {
 			case 0b00: // 1100 mmxx
 				idx := int(r.ReadBits(4))
 				if idx >= dict.n {
-					return nil, ErrCorrupt
+					return ErrCorrupt
 				}
 				v = dict.entries[idx]&0xFFFF0000 | uint32(r.ReadBits(16))
 				dict.push(v)
@@ -171,18 +149,33 @@ func (CPack) Decompress(comp []byte) ([]byte, error) {
 			case 0b10: // 1110 mmmx
 				idx := int(r.ReadBits(4))
 				if idx >= dict.n {
-					return nil, ErrCorrupt
+					return ErrCorrupt
 				}
 				v = dict.entries[idx]&0xFFFFFF00 | uint32(r.ReadBits(8))
 				dict.push(v)
 			default:
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
 		}
-		binary.LittleEndian.PutUint32(out[i*4:], v)
+		binary.LittleEndian.PutUint32(dst[i*4:], v)
 	}
 	if r.Overrun() {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	return out, nil
+	return nil
 }
+
+// CompressedBits implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c CPack) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
+
+// Compress implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c CPack) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
+
+// Decompress implements Compressor.
+//
+// Deprecated: use DecompressInto.
+func (c CPack) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }

@@ -77,53 +77,31 @@ func fpcEncode(entry []byte, w *BitWriter) {
 	}
 }
 
-// CompressedBits implements Compressor.
-func (FPC) CompressedBits(entry []byte) int {
+// AppendCompressed implements Codec. A leading framing bit distinguishes
+// the FPC stream (0) from a raw fallback (1); as with BPC the flag is
+// hardware metadata and excluded from the reported bits.
+func (FPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
-	w := NewBitWriter(EntryBytes * 8)
-	fpcEncode(entry, w)
-	if w.Len() >= EntryBytes*8 {
-		return EntryBytes * 8
+	start := len(dst)
+	var w BitWriter
+	w.Reset(dst)
+	w.WriteBits(0, 1)
+	fpcEncode(entry, &w)
+	if bits := w.Len() - start*8 - 1; bits < EntryBytes*8 {
+		return w.Bytes(), bits
 	}
-	return w.Len()
+	rawFallback(&w, start, entry)
+	return w.Bytes(), EntryBytes * 8
 }
 
-// Compress implements Compressor. A leading framing bit distinguishes the
-// FPC stream (0) from a raw fallback (1); as with BPC the flag is metadata
-// in hardware and excluded from CompressedBits.
-func (FPC) Compress(entry []byte) []byte {
-	checkEntry(entry)
-	enc := NewBitWriter(EntryBytes * 8)
-	fpcEncode(entry, enc)
-	out := NewBitWriter(1 + enc.Len())
-	if enc.Len() >= EntryBytes*8 {
-		out.WriteBits(1, 1)
-		for _, b := range entry {
-			out.WriteBits(uint64(b), 8)
-		}
-		return out.Bytes()
-	}
-	out.WriteBits(0, 1)
-	src := NewBitReader(enc.Bytes())
-	for i := 0; i < enc.Len(); i++ {
-		out.WriteBits(src.ReadBits(1), 1)
-	}
-	return out.Bytes()
-}
-
-// Decompress implements Compressor.
-func (FPC) Decompress(comp []byte) ([]byte, error) {
+// DecompressInto implements Codec.
+func (FPC) DecompressInto(dst, comp []byte) error {
+	checkDst(dst)
 	r := NewBitReader(comp)
-	out := make([]byte, EntryBytes)
 	if r.ReadBits(1) == 1 {
-		for i := range out {
-			out[i] = byte(r.ReadBits(8))
-		}
-		if r.Overrun() {
-			return nil, ErrCorrupt
-		}
-		return out, nil
+		return decodeRawEntry(dst, r)
 	}
+	clear(dst) // zero runs are skipped, not written
 	i := 0
 	for i < bpcWords {
 		prefix := r.ReadBits(3)
@@ -152,13 +130,28 @@ func (FPC) Decompress(comp []byte) ([]byte, error) {
 			v = uint32(r.ReadBits(32))
 		}
 		if i >= bpcWords {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
-		binary.LittleEndian.PutUint32(out[i*4:], v)
+		binary.LittleEndian.PutUint32(dst[i*4:], v)
 		i++
 	}
 	if r.Overrun() {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	return out, nil
+	return nil
 }
+
+// CompressedBits implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c FPC) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
+
+// Compress implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c FPC) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
+
+// Decompress implements Compressor.
+//
+// Deprecated: use DecompressInto.
+func (c FPC) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }

@@ -1,0 +1,84 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzEntry pads or truncates fuzz input to exactly one 128 B entry so the
+// engine explores the full structural space without tripping the length
+// contract.
+func fuzzEntry(data []byte) []byte {
+	entry := make([]byte, EntryBytes)
+	copy(entry, data)
+	return entry
+}
+
+// FuzzRoundTrip drives every codec over arbitrary entries: the single-pass
+// stream must decode bit-exactly, agree with the legacy surface, report
+// in-range metadata bits, and reject every truncated prefix with ErrCorrupt.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, EntryBytes))
+	f.Add(bytes.Repeat([]byte{0x00, 0x01, 0x02, 0x03}, EntryBytes/4))
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5, 6, 7, 8})
+	ramp := make([]byte, EntryBytes)
+	for i := range ramp {
+		ramp[i] = byte(i * 7)
+	}
+	f.Add(ramp)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entry := fuzzEntry(data)
+		dst := make([]byte, EntryBytes)
+		for _, c := range Registry() {
+			stream, bits := c.AppendCompressed(nil, entry)
+			if bits < 0 || bits > EntryBytes*8 {
+				t.Fatalf("%s: bits %d out of range", c.Name(), bits)
+			}
+			if len(stream) > MaxStreamBytes {
+				t.Fatalf("%s: stream %d B exceeds MaxStreamBytes", c.Name(), len(stream))
+			}
+			if err := c.DecompressInto(dst, stream); err != nil {
+				t.Fatalf("%s: DecompressInto: %v", c.Name(), err)
+			}
+			if !bytes.Equal(dst, entry) {
+				t.Fatalf("%s: round-trip mismatch", c.Name())
+			}
+			if got := c.CompressedBits(entry); got != bits {
+				t.Fatalf("%s: CompressedBits %d != AppendCompressed bits %d", c.Name(), got, bits)
+			}
+			for _, cut := range []int{0, len(stream) / 2, len(stream) - 1} {
+				if cut < 0 || cut >= len(stream) {
+					continue
+				}
+				if err := c.DecompressInto(dst, stream[:cut]); !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("%s: truncation to %d/%d bytes: got %v, want ErrCorrupt",
+						c.Name(), cut, len(stream), err)
+				}
+			}
+			// Restore dst for the next codec (truncated decodes scribble).
+			if err := c.DecompressInto(dst, stream); err != nil {
+				t.Fatalf("%s: re-decode: %v", c.Name(), err)
+			}
+		}
+	})
+}
+
+// FuzzDecompressArbitrary feeds arbitrary bytes to every decoder: it must
+// either decode into some entry or return ErrCorrupt — never panic, never
+// read out of bounds.
+func FuzzDecompressArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{0x00, 0x00, 0x00})
+	f.Add(bytes.Repeat([]byte{0x55}, 192))
+	f.Fuzz(func(t *testing.T, comp []byte) {
+		dst := make([]byte, EntryBytes)
+		for _, c := range Registry() {
+			if err := c.DecompressInto(dst, comp); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s: unexpected error class: %v", c.Name(), err)
+			}
+		}
+	})
+}

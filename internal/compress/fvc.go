@@ -24,101 +24,89 @@ func (FVC) Name() string { return "fvc" }
 
 const fvcDictMax = 8
 
-// fvcDict builds the entry's frequent-value dictionary: the up-to-8 most
-// frequent words that occur at least twice (a singleton saves nothing).
-func fvcDict(entry []byte) []uint32 {
+// fvcEncode writes the unframed FVC stream. The frequent-value dictionary is
+// the up-to-8 first-seen values occurring at least twice (a singleton saves
+// nothing) — deterministic, like a hardware table with first-touch
+// allocation. With only 32 words per entry, linear scans beat hash maps and
+// keep the encode allocation-free.
+func fvcEncode(entry []byte, w *BitWriter) {
 	var words [bpcWords]uint32
-	counts := make(map[uint32]int, bpcWords)
 	for i := 0; i < bpcWords; i++ {
 		words[i] = binary.LittleEndian.Uint32(entry[i*4:])
-		counts[words[i]]++
 	}
-	var dict []uint32
-	// Deterministic selection: scan words in order, pick first-seen values
-	// with count >= 2 (stable across runs; a hardware table would behave
-	// similarly with first-touch allocation).
-	seen := make(map[uint32]bool, fvcDictMax)
-	for i := 0; i < bpcWords && len(dict) < fvcDictMax; i++ {
-		w := words[i]
-		if counts[w] >= 2 && !seen[w] {
-			seen[w] = true
-			dict = append(dict, w)
+	var dict [fvcDictMax]uint32
+	nd := 0
+	for i := 0; i < bpcWords && nd < fvcDictMax; i++ {
+		v := words[i]
+		dup := false
+		for j := 0; j < nd; j++ {
+			if dict[j] == v {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		count := 0
+		for j := i; j < bpcWords; j++ {
+			if words[j] == v {
+				count++
+			}
+		}
+		if count >= 2 {
+			dict[nd] = v
+			nd++
 		}
 	}
-	return dict
-}
-
-func fvcEncode(entry []byte, w *BitWriter) {
-	dict := fvcDict(entry)
-	w.WriteBits(uint64(len(dict)), 3)
-	for _, v := range dict {
-		w.WriteBits(uint64(v), 32)
-	}
-	idx := make(map[uint32]int, len(dict))
-	for i, v := range dict {
-		idx[v] = i
+	w.WriteBits(uint64(nd), 3)
+	for i := 0; i < nd; i++ {
+		w.WriteBits(uint64(dict[i]), 32)
 	}
 	for i := 0; i < bpcWords; i++ {
-		v := binary.LittleEndian.Uint32(entry[i*4:])
-		if j, ok := idx[v]; ok {
-			w.WriteBits(1, 1)
-			w.WriteBits(uint64(j), 3)
-		} else {
+		v := words[i]
+		hit := false
+		for j := 0; j < nd; j++ {
+			if dict[j] == v {
+				w.WriteBits(1, 1)
+				w.WriteBits(uint64(j), 3)
+				hit = true
+				break
+			}
+		}
+		if !hit {
 			w.WriteBits(0, 1)
 			w.WriteBits(uint64(v), 32)
 		}
 	}
 }
 
-// CompressedBits implements Compressor.
-func (FVC) CompressedBits(entry []byte) int {
+// AppendCompressed implements Codec; the leading framing bit (0 = FVC
+// stream, 1 = raw) mirrors the other codecs.
+func (FVC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
-	w := NewBitWriter(EntryBytes*8 + 64)
-	fvcEncode(entry, w)
-	if w.Len() >= EntryBytes*8 {
-		return EntryBytes * 8
+	start := len(dst)
+	var w BitWriter
+	w.Reset(dst)
+	w.WriteBits(0, 1)
+	fvcEncode(entry, &w)
+	if bits := w.Len() - start*8 - 1; bits < EntryBytes*8 {
+		return w.Bytes(), bits
 	}
-	return w.Len()
+	rawFallback(&w, start, entry)
+	return w.Bytes(), EntryBytes * 8
 }
 
-// Compress implements Compressor; the leading framing bit (0 = FVC stream,
-// 1 = raw) mirrors the other codecs.
-func (FVC) Compress(entry []byte) []byte {
-	checkEntry(entry)
-	enc := NewBitWriter(EntryBytes*8 + 64)
-	fvcEncode(entry, enc)
-	out := NewBitWriter(1 + enc.Len())
-	if enc.Len() >= EntryBytes*8 {
-		out.WriteBits(1, 1)
-		for _, b := range entry {
-			out.WriteBits(uint64(b), 8)
-		}
-		return out.Bytes()
-	}
-	out.WriteBits(0, 1)
-	src := NewBitReader(enc.Bytes())
-	for i := 0; i < enc.Len(); i++ {
-		out.WriteBits(src.ReadBits(1), 1)
-	}
-	return out.Bytes()
-}
-
-// Decompress implements Compressor.
-func (FVC) Decompress(comp []byte) ([]byte, error) {
+// DecompressInto implements Codec.
+func (FVC) DecompressInto(dst, comp []byte) error {
+	checkDst(dst)
 	r := NewBitReader(comp)
-	out := make([]byte, EntryBytes)
 	if r.ReadBits(1) == 1 {
-		for i := range out {
-			out[i] = byte(r.ReadBits(8))
-		}
-		if r.Overrun() {
-			return nil, ErrCorrupt
-		}
-		return out, nil
+		return decodeRawEntry(dst, r)
 	}
 	n := int(r.ReadBits(3))
-	dict := make([]uint32, n)
-	for i := range dict {
+	var dict [fvcDictMax]uint32
+	for i := 0; i < n; i++ {
 		dict[i] = uint32(r.ReadBits(32))
 	}
 	for i := 0; i < bpcWords; i++ {
@@ -126,16 +114,31 @@ func (FVC) Decompress(comp []byte) ([]byte, error) {
 		if r.ReadBits(1) == 1 {
 			j := int(r.ReadBits(3))
 			if j >= n {
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
 			v = dict[j]
 		} else {
 			v = uint32(r.ReadBits(32))
 		}
-		binary.LittleEndian.PutUint32(out[i*4:], v)
+		binary.LittleEndian.PutUint32(dst[i*4:], v)
 	}
 	if r.Overrun() {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	return out, nil
+	return nil
 }
+
+// CompressedBits implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c FVC) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
+
+// Compress implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c FVC) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
+
+// Decompress implements Compressor.
+//
+// Deprecated: use DecompressInto.
+func (c FVC) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }

@@ -8,47 +8,51 @@ type Zero struct{}
 // Name implements Compressor.
 func (Zero) Name() string { return "zero" }
 
-// CompressedBits implements Compressor: 0 bits for an all-zero entry
-// (existence is encoded in metadata), raw size otherwise.
-func (Zero) CompressedBits(entry []byte) int {
+// AppendCompressed implements Codec: one framing bit (0 = zero entry, the
+// payload is 0 bits — existence is encoded in metadata) or the framing bit
+// plus the raw bytes.
+func (Zero) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
-	if bdiAllZero(entry) {
-		return 0
-	}
-	return EntryBytes * 8
-}
-
-// Compress implements Compressor: one framing bit (0 = zero entry) or the
-// framing bit plus the raw bytes.
-func (Zero) Compress(entry []byte) []byte {
-	checkEntry(entry)
-	w := NewBitWriter(1 + EntryBytes*8)
+	var w BitWriter
+	w.Reset(dst)
 	if bdiAllZero(entry) {
 		w.WriteBits(0, 1)
-		return w.Bytes()
+		return w.Bytes(), 0
 	}
 	w.WriteBits(1, 1)
-	for _, b := range entry {
-		w.WriteBits(uint64(b), 8)
-	}
-	return w.Bytes()
+	w.WriteBytes(entry)
+	return w.Bytes(), EntryBytes * 8
 }
 
-// Decompress implements Compressor.
-func (Zero) Decompress(comp []byte) ([]byte, error) {
+// DecompressInto implements Codec.
+func (Zero) DecompressInto(dst, comp []byte) error {
+	checkDst(dst)
 	r := NewBitReader(comp)
-	out := make([]byte, EntryBytes)
 	if r.ReadBits(1) == 0 {
-		return out, nil
+		if r.Overrun() {
+			return ErrCorrupt
+		}
+		clear(dst)
+		return nil
 	}
-	for i := range out {
-		out[i] = byte(r.ReadBits(8))
-	}
-	if r.Overrun() {
-		return nil, ErrCorrupt
-	}
-	return out, nil
+	return decodeRawEntry(dst, r)
 }
+
+// CompressedBits implements Compressor: 0 bits for an all-zero entry
+// (existence is encoded in metadata), raw size otherwise.
+//
+// Deprecated: use AppendCompressed.
+func (c Zero) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
+
+// Compress implements Compressor.
+//
+// Deprecated: use AppendCompressed.
+func (c Zero) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
+
+// Decompress implements Compressor.
+//
+// Deprecated: use DecompressInto.
+func (c Zero) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }
 
 // OptimisticSize returns the entry's compressed size rounded to the paper's
 // optimistic eight-size study (Fig. 3): all-zero entries take the 0 B class

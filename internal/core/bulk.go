@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Batch entry primitives: WriteEntries and ReadEntries move whole spans of
+// 128 B entries through the compression pipeline, fanning the codec work
+// across a bounded worker pool. Compression and decompression run outside
+// the entry shard locks (each entry operation only locks for its table
+// update), so workers contend only on the striped mutexes and the batch
+// scales with GOMAXPROCS. ReadAt, WriteAt and Memcpy route their aligned
+// spans through these primitives, which is what makes the byte-addressed
+// bulk surface — and everything above it, experiment sweeps included —
+// parallel for free.
+
+// bulkGrainEntries is the smallest span a worker is given: 64 entries
+// (8 KB). Spans below two grains run inline — goroutine handoff costs more
+// than compressing a handful of entries.
+const bulkGrainEntries = 64
+
+// parallelSpan partitions [0, n) into contiguous chunks and runs fn on each
+// from a bounded pool of at most GOMAXPROCS goroutines, returning the first
+// error. Small spans run inline on the caller's goroutine.
+func parallelSpan(n int, fn func(lo, hi int) error) error {
+	workers := min(runtime.GOMAXPROCS(0), n/bulkGrainEntries)
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+	}
+	for lo := chunk; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			record(fn(lo, hi))
+		}()
+	}
+	// The first chunk runs inline: the caller works instead of idling in Wait.
+	record(fn(0, min(chunk, n)))
+	wg.Wait()
+	return firstErr
+}
+
+func (a *Allocation) checkEntryRange(start, n int) error {
+	if start < 0 || n < 0 || start+n > a.EntryCount {
+		return fmt.Errorf("core: entry range [%d,%d) out of range [0,%d)",
+			start, start+n, a.EntryCount)
+	}
+	return nil
+}
+
+// WriteEntries compresses and stores len(data)/128 consecutive entries
+// beginning at entry index start; len(data) must be a multiple of 128.
+// Entries are written in parallel across a bounded worker pool, each worker
+// reusing one pooled scratch buffer for its whole span. Each entry write is
+// individually atomic (the usual torn-write contract at 128 B granularity);
+// on error a prefix-and-suffix subset of the span may have been written.
+func (a *Allocation) WriteEntries(start int, data []byte) error {
+	if len(data)%EntryBytes != 0 {
+		return fmt.Errorf("core: batch write length %d not a multiple of %d", len(data), EntryBytes)
+	}
+	n := len(data) / EntryBytes
+	if n == 0 {
+		return nil
+	}
+	if err := a.checkEntryRange(start, n); err != nil {
+		return err
+	}
+	return parallelSpan(n, func(lo, hi int) error {
+		scratch := streamScratchPool.Get().(*[]byte)
+		defer streamScratchPool.Put(scratch)
+		for i := lo; i < hi; i++ {
+			if err := a.writeEntry(start+i, data[i*EntryBytes:(i+1)*EntryBytes], scratch); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ReadEntries fetches and decompresses len(dst)/128 consecutive entries
+// beginning at entry index start, decoding each entry straight into its slot
+// of dst with no staging copies; len(dst) must be a multiple of 128. Entries
+// are read in parallel across a bounded worker pool.
+func (a *Allocation) ReadEntries(start int, dst []byte) error {
+	if len(dst)%EntryBytes != 0 {
+		return fmt.Errorf("core: batch read length %d not a multiple of %d", len(dst), EntryBytes)
+	}
+	n := len(dst) / EntryBytes
+	if n == 0 {
+		return nil
+	}
+	if err := a.checkEntryRange(start, n); err != nil {
+		return err
+	}
+	return parallelSpan(n, func(lo, hi int) error {
+		scratch := streamScratchPool.Get().(*[]byte)
+		defer streamScratchPool.Put(scratch)
+		for i := lo; i < hi; i++ {
+			if err := a.readEntry(start+i, dst[i*EntryBytes:(i+1)*EntryBytes], scratch); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -170,7 +170,11 @@ func NewDevice(cfg Config) *Device {
 	if cfg.CarveoutFactor == 0 {
 		cfg.CarveoutFactor = def.CarveoutFactor
 	}
-	if cfg.Link.BandwidthGBs == 0 {
+	if cfg.Link == (nvlink.Config{}) {
+		// Untouched link config selects the paper's NVLink2 point, 700-cycle
+		// latency included. A partially specified config is passed through:
+		// nvlink.New defaults the rate fields individually and honors an
+		// explicit zero latency (a meaningful model point).
 		cfg.Link = def.Link
 	}
 	if cfg.MetadataCacheBytes == 0 {
@@ -341,10 +345,32 @@ func shardOf(globalEntry int) int {
 	return (globalEntry / 2) % entryShards
 }
 
+// streamScratchPool recycles codec scratch buffers across entry operations.
+// Each buffer holds one framed compressed stream; MaxStreamBytes capacity
+// means the steady-state compress/decompress path never allocates.
+var streamScratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, compress.MaxStreamBytes)
+		return &b
+	},
+}
+
 // WriteEntry compresses and stores a 128 B entry. Sectors beyond the target
 // budget are written to the entry's fixed overflow slot; no other entry is
 // disturbed regardless of compressibility changes.
 func (a *Allocation) WriteEntry(i int, data []byte) error {
+	scratch := streamScratchPool.Get().(*[]byte)
+	err := a.writeEntry(i, data, scratch)
+	streamScratchPool.Put(scratch)
+	return err
+}
+
+// writeEntry is WriteEntry with a caller-held scratch buffer, so batch
+// writers pay the pool round-trip once per span rather than per entry. The
+// entry is encoded exactly once — the framed stream and the sector count
+// both come out of the same AppendCompressed pass — and the encode runs
+// outside every lock; the shard lock covers only the table update.
+func (a *Allocation) writeEntry(i int, data []byte, scratch *[]byte) error {
 	if err := a.checkIndex(i); err != nil {
 		return err
 	}
@@ -352,15 +378,18 @@ func (a *Allocation) WriteEntry(i int, data []byte) error {
 		return fmt.Errorf("core: entry must be %d bytes, got %d", EntryBytes, len(data))
 	}
 	d := a.dev
-	c := d.cfg.Compressor
-	sectors := compress.SectorsNeeded(c, data)
-	stream := c.Compress(data)
+	stream, bits := d.cfg.Compressor.AppendCompressed((*scratch)[:0], data)
+	*scratch = stream[:0]
+	sectors := compress.SectorsForBits(bits)
 	g := a.firstEntry + i
 
 	d.mu.RLock()
 	sh := &d.shards[shardOf(g)]
 	sh.Lock()
-	d.streams[g] = stream
+	// Copy into the entry's retained buffer (reused across rewrites) rather
+	// than retaining the scratch: readers snapshot under the same lock, so
+	// in-place reuse is safe and the steady state allocates nothing.
+	d.streams[g] = append(d.streams[g][:0], stream...)
 	d.meta.Set(g, sectors)
 	a.sectorCount[i] = sectors
 	sh.Unlock()
@@ -381,6 +410,17 @@ func (a *Allocation) WriteEntry(i int, data []byte) error {
 
 // ReadEntry fetches and decompresses entry i into dst (128 bytes).
 func (a *Allocation) ReadEntry(i int, dst []byte) error {
+	scratch := streamScratchPool.Get().(*[]byte)
+	err := a.readEntry(i, dst, scratch)
+	streamScratchPool.Put(scratch)
+	return err
+}
+
+// readEntry is ReadEntry with a caller-held scratch buffer. The stored
+// stream is snapshotted into the scratch under the shard lock (writers reuse
+// stream buffers in place, so the reference itself must not leave the
+// critical section) and decoded outside it, straight into dst.
+func (a *Allocation) readEntry(i int, dst []byte, scratch *[]byte) error {
 	if err := a.checkIndex(i); err != nil {
 		return err
 	}
@@ -395,7 +435,8 @@ func (a *Allocation) ReadEntry(i int, dst []byte) error {
 	sh := &d.shards[shardOf(g)]
 	sh.Lock()
 	sectors := d.meta.Get(g)
-	stream := d.streams[g]
+	written := d.streams[g] != nil
+	*scratch = append((*scratch)[:0], d.streams[g]...)
 	sh.Unlock()
 	d.mu.RUnlock()
 
@@ -409,18 +450,14 @@ func (a *Allocation) ReadEntry(i int, dst []byte) error {
 		d.overflow.Load(g, buddy)
 	}
 
-	if stream == nil {
+	if !written {
 		// Never-written entries read as zero, like fresh cudaMalloc pages.
-		for j := range dst {
-			dst[j] = 0
-		}
+		clear(dst)
 		return nil
 	}
-	out, err := d.cfg.Compressor.Decompress(stream)
-	if err != nil {
+	if err := d.cfg.Compressor.DecompressInto(dst, *scratch); err != nil {
 		return fmt.Errorf("core: entry %d of %s: %w", i, a.Name, err)
 	}
-	copy(dst, out)
 	return nil
 }
 
@@ -473,8 +510,13 @@ func (d *Device) Allocations() []*Allocation {
 	return out
 }
 
-// SectorCount returns entry i's last committed compressed sector count.
+// SectorCount returns entry i's last committed compressed sector count. It
+// panics on an out-of-range index — a programming error, unlike the error
+// returns of the I/O methods.
 func (a *Allocation) SectorCount(i int) int {
+	if err := a.checkIndex(i); err != nil {
+		panic(err)
+	}
 	d := a.dev
 	g := a.firstEntry + i
 	sh := &d.shards[shardOf(g)]

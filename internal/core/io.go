@@ -3,13 +3,16 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Byte-addressed bulk I/O over the entry-granular compression pipeline.
 // Allocation satisfies io.ReaderAt and io.WriterAt, so callers address
 // plain byte offsets — as software does under the paper's transparent
 // memory system — and never see the 128 B entry granularity. Unaligned
-// edges are handled with read-modify-write of the bounding entries.
+// edges are handled with read-modify-write of the bounding entries; the
+// aligned interior of every request is routed through the parallel
+// WriteEntries/ReadEntries batch primitives.
 //
 // Each entry operation is individually atomic with respect to concurrent
 // device use; a multi-entry ReadAt/WriteAt is not a single atomic unit, and
@@ -21,9 +24,37 @@ var (
 	_ io.WriterAt = (*Allocation)(nil)
 )
 
+// alignedSpan returns the length of the whole-entry prefix of a request for
+// want bytes at entry-aligned offset off: full in-range entries only, 0 if
+// off is unaligned or past size.
+func (a *Allocation) alignedSpan(off int64, want int) int {
+	if off%EntryBytes != 0 || off >= a.size {
+		return 0
+	}
+	full := min(want, int(a.size-off))
+	return full - full%EntryBytes
+}
+
+// partialSpan returns the byte range of off's bounding entry covered by a
+// request for want bytes, clamped to size: the read-modify-write window at
+// unaligned edges and in the final padding entry.
+func (a *Allocation) partialSpan(off int64, want int) (entryIdx, within, avail int) {
+	entryIdx = int(off / EntryBytes)
+	within = int(off % EntryBytes)
+	avail = EntryBytes - within
+	if rem := a.size - off; int64(avail) > rem {
+		avail = int(rem)
+	}
+	if avail > want {
+		avail = want
+	}
+	return entryIdx, within, avail
+}
+
 // ReadAt implements io.ReaderAt: it reads len(p) bytes starting at byte
-// offset off, decompressing the covering entries. It returns io.EOF when
-// the read reaches past Size().
+// offset off, decompressing the covering entries — the aligned interior in
+// parallel, straight into p. It returns io.EOF when the read reaches past
+// Size().
 func (a *Allocation) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("core: negative offset %d", off)
@@ -31,16 +62,21 @@ func (a *Allocation) ReadAt(p []byte, off int64) (int, error) {
 	var entry [EntryBytes]byte
 	n := 0
 	for n < len(p) && off < a.size {
-		e := int(off / EntryBytes)
-		within := int(off % EntryBytes)
+		if full := a.alignedSpan(off, len(p)-n); full > 0 {
+			// Aligned interior: whole entries decode directly into p.
+			if err := a.ReadEntries(int(off/EntryBytes), p[n:n+full]); err != nil {
+				return n, err
+			}
+			n += full
+			off += int64(full)
+			continue
+		}
+		// Partial entry at an edge: decode and take the covered piece.
+		e, within, avail := a.partialSpan(off, len(p)-n)
 		if err := a.ReadEntry(e, entry[:]); err != nil {
 			return n, err
 		}
-		avail := EntryBytes - within
-		if rem := a.size - off; int64(avail) > rem {
-			avail = int(rem)
-		}
-		c := copy(p[n:], entry[within:within+avail])
+		c := copy(p[n:n+avail], entry[within:])
 		n += c
 		off += int64(c)
 	}
@@ -51,11 +87,11 @@ func (a *Allocation) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // WriteAt implements io.WriterAt: it writes len(p) bytes starting at byte
-// offset off through the compression pipeline. Entries only partially
-// covered by the write (the unaligned head and tail, or any write within an
-// allocation's final padding entry) are read-modified-written so
-// neighbouring bytes are preserved. Writes past Size() stop short and
-// return io.ErrShortWrite.
+// offset off through the compression pipeline, compressing the aligned
+// interior in parallel. Entries only partially covered by the write (the
+// unaligned head and tail, or any write within an allocation's final
+// padding entry) are read-modified-written so neighbouring bytes are
+// preserved. Writes past Size() stop short and return io.ErrShortWrite.
 func (a *Allocation) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("core: negative offset %d", off)
@@ -63,28 +99,23 @@ func (a *Allocation) WriteAt(p []byte, off int64) (int, error) {
 	var entry [EntryBytes]byte
 	n := 0
 	for n < len(p) && off < a.size {
-		e := int(off / EntryBytes)
-		within := int(off % EntryBytes)
-		avail := EntryBytes - within
-		if rem := a.size - off; int64(avail) > rem {
-			avail = int(rem)
+		if full := a.alignedSpan(off, len(p)-n); full > 0 {
+			// Aligned interior: fully covered entries need no read-back.
+			if err := a.WriteEntries(int(off/EntryBytes), p[n:n+full]); err != nil {
+				return n, err
+			}
+			n += full
+			off += int64(full)
+			continue
 		}
-		if avail > len(p)-n {
-			avail = len(p) - n
+		// Partially covered entry at an edge: read-modify-write it.
+		e, within, avail := a.partialSpan(off, len(p)-n)
+		if err := a.ReadEntry(e, entry[:]); err != nil {
+			return n, err
 		}
-		if within == 0 && avail == EntryBytes {
-			// Fast path: a fully covered entry needs no read-back.
-			if err := a.WriteEntry(e, p[n:n+EntryBytes]); err != nil {
-				return n, err
-			}
-		} else {
-			if err := a.ReadEntry(e, entry[:]); err != nil {
-				return n, err
-			}
-			copy(entry[within:], p[n:n+avail])
-			if err := a.WriteEntry(e, entry[:]); err != nil {
-				return n, err
-			}
+		copy(entry[within:within+avail], p[n:])
+		if err := a.WriteEntry(e, entry[:]); err != nil {
+			return n, err
 		}
 		n += avail
 		off += int64(avail)
@@ -95,11 +126,26 @@ func (a *Allocation) WriteAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
+// memcpyChunkEntries sizes the Memcpy staging buffer: 512 entries (64 KB)
+// per chunk, large enough for the batch primitives underneath to fan out
+// across several bulk grains.
+const memcpyChunkEntries = 512
+
+// memcpyBufPool recycles Memcpy staging buffers, companion to the codec
+// scratch pool: the bulk copy path allocates nothing in steady state.
+var memcpyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, memcpyChunkEntries*EntryBytes)
+		return &b
+	},
+}
+
 // Memcpy copies n bytes from the start of src to the start of dst through
 // both compression pipelines — the transparent-memory equivalent of
 // cudaMemcpy(dst, src, n). The allocations may live on different devices.
 // It returns the bytes copied; copying past either allocation's Size fails
-// after the in-range prefix.
+// after the in-range prefix. Staging draws on a pooled buffer and each
+// chunk's read and write fan out in parallel underneath.
 func Memcpy(dst, src *Allocation, n int64) (int64, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("core: negative memcpy length %d", n)
@@ -108,7 +154,9 @@ func Memcpy(dst, src *Allocation, n int64) (int64, error) {
 		return 0, fmt.Errorf("core: memcpy length %d exceeds src %d or dst %d",
 			n, src.Size(), dst.Size())
 	}
-	buf := make([]byte, 64*EntryBytes)
+	bp := memcpyBufPool.Get().(*[]byte)
+	defer memcpyBufPool.Put(bp)
+	buf := *bp
 	var copied int64
 	for copied < n {
 		chunk := int64(len(buf))

@@ -203,12 +203,13 @@ func chooseTarget(p *AllocationProfile, opt ProfileOptions) TargetRatio {
 // to an allowed target.
 func naiveTarget(snaps []*memory.Snapshot, c compress.Compressor) TargetRatio {
 	prog := 4.0
+	sz := compress.NewSizer(c)
 	for _, s := range snaps {
 		var orig, comp float64
 		for _, a := range s.Allocations {
 			n := a.Entries()
 			for i := 0; i < n; i++ {
-				sec := compress.SectorsNeeded(c, a.Entry(i))
+				sec := sz.Sectors(a.Entry(i))
 				if sec == 0 {
 					sec = 1
 				}
@@ -290,11 +291,12 @@ func bestAchievable(snaps []*memory.Snapshot, c compress.Compressor) float64 {
 		return 1
 	}
 	var orig, comp float64
+	sz := compress.NewSizer(c)
 	for _, s := range snaps {
 		for _, a := range s.Allocations {
 			n := a.Entries()
 			for i := 0; i < n; i++ {
-				sec := compress.SectorsNeeded(c, a.Entry(i))
+				sec := sz.Sectors(a.Entry(i))
 				orig += 128
 				if sec == 0 {
 					comp += 8
@@ -319,6 +321,7 @@ func bestAchievable(snaps []*memory.Snapshot, c compress.Compressor) float64 {
 // over-time studies (Fig. 8) where targets stay fixed while data changes.
 func MeasureSnapshot(s *memory.Snapshot, c compress.Compressor, targets map[string]TargetRatio) (ratio, buddyFrac float64) {
 	var orig, dev, over, entries float64
+	sz := compress.NewSizer(c)
 	for _, a := range s.Allocations {
 		t, ok := targets[a.Name]
 		if !ok {
@@ -326,7 +329,7 @@ func MeasureSnapshot(s *memory.Snapshot, c compress.Compressor, targets map[stri
 		}
 		n := a.Entries()
 		for i := 0; i < n; i++ {
-			sec := compress.SectorsNeeded(c, a.Entry(i))
+			sec := sz.Sectors(a.Entry(i))
 			if !t.Fits(sec) {
 				over++
 			}

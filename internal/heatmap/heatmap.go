@@ -26,10 +26,11 @@ type Map struct {
 func Build(name string, s *memory.Snapshot, c compress.Compressor) *Map {
 	m := &Map{Name: name}
 	row := make([]uint8, 0, memory.EntriesPerPage)
+	sz := compress.NewSizer(c)
 	for _, a := range s.Allocations {
 		n := a.Entries()
 		for i := 0; i < n; i++ {
-			row = append(row, uint8(compress.SectorsNeeded(c, a.Entry(i))))
+			row = append(row, uint8(sz.Sectors(a.Entry(i))))
 			if len(row) == memory.EntriesPerPage {
 				m.Rows = append(m.Rows, row)
 				row = make([]uint8, 0, memory.EntriesPerPage)

@@ -95,12 +95,13 @@ func NewAllocation(name string, size int) *Allocation {
 func CompressionRatio(s *Snapshot, c compress.Compressor, classes []int) float64 {
 	var orig, comp int
 	zeroClass := len(classes) > 0 && classes[0] == 0
+	sz := compress.NewSizer(c)
 	for _, a := range s.Allocations {
 		n := a.Entries()
 		for i := 0; i < n; i++ {
 			e := a.Entry(i)
 			orig += EntryBytes
-			size := compress.CompressedBytes(c, e)
+			size := sz.Bytes(e)
 			if zeroClass && size <= 1 && isZero(e) {
 				comp += 0
 				continue
@@ -131,8 +132,9 @@ func isZero(e []byte) bool {
 func SectorHistogram(a *Allocation, c compress.Compressor) [5]int {
 	var h [5]int
 	n := a.Entries()
+	sz := compress.NewSizer(c)
 	for i := 0; i < n; i++ {
-		h[compress.SectorsNeeded(c, a.Entry(i))]++
+		h[sz.Sectors(a.Entry(i))]++
 	}
 	return h
 }

@@ -27,7 +27,10 @@ func New(opts ...Option) *Device {
 }
 
 // WithCompressor selects the memory compression algorithm (default BPC,
-// §2.4). See Compressors for the implemented baselines.
+// §2.4). See Compressors for the implemented baselines. The codec must be
+// safe for concurrent use: the bulk data path fans it out across a worker
+// pool even within a single ReadAt/WriteAt/Memcpy call (all built-in
+// algorithms are stateless and qualify).
 func WithCompressor(c Compressor) Option {
 	return func(cfg *core.Config) { cfg.Compressor = c }
 }
