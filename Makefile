@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz
+.PHONY: all build vet lint test race bench bench-json fuzz
 
-all: vet build test
+all: lint build test
 
 build:
 	$(GO) build ./...
@@ -12,24 +12,40 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint = vet plus a grep gate: the legacy Compressor surface (the
+# allocate-per-call CompressedBits/Compress/Decompress methods and the
+# Compressor interface) was deleted in favor of the single-pass Codec, and
+# WithCompressor survives only as a deprecated alias in options.go. Fail
+# the build if any of it grows back.
+lint: vet
+	@if grep -rnE --include='*.go' 'func \([^)]*\) (CompressedBits|Compress|Decompress)\(' ./internal/compress ; then \
+		echo 'lint: deleted legacy Compressor methods reappeared (use Codec: AppendCompressed/DecompressInto)'; exit 1; fi
+	@if grep -rn --include='*.go' 'compress\.Compressor' . ; then \
+		echo 'lint: the retired compress.Compressor interface reappeared (use compress.Codec)'; exit 1; fi
+	@if grep -rn --include='*.go' --exclude='*_test.go' 'WithCompressor' . | grep -v '^\./options.go:' | grep . ; then \
+		echo 'lint: WithCompressor used outside its deprecated alias (use WithCodec; tests may cover the alias)'; exit 1; fi
+	@echo 'lint: ok'
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# Codec and bulk-I/O data-path benchmarks, human-readable. Pass CPU=1,4 to
-# see the GOMAXPROCS scaling of the parallel bulk path.
+# Data-path and analysis-pipeline benchmarks, human-readable. Pass CPU=1,4
+# to see the GOMAXPROCS scaling of the parallel bulk and index-build paths.
 CPU ?=
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem $(if $(CPU),-cpu $(CPU)) \
-		./internal/compress/ ./internal/core/
+		./internal/compress/ ./internal/core/ ./internal/analysis/ ./internal/exp/
 
-# Same codec/bulk-I/O benchmarks as one-shot JSON, the artifact CI uploads
-# per PR (root-package figure benches are excluded as too heavy for PR CI).
+# Same benchmarks as one-shot JSON, the artifact CI uploads per PR: codec
+# and bulk-I/O data path plus the analysis pipeline (BenchmarkAnalysisIndex,
+# BenchmarkFig3Sweep). The root-package figure benches stay excluded as too
+# heavy for PR CI.
 bench-json:
 	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime=1x -count=1 \
-		./internal/compress/ ./internal/core/ > BENCH_pr.json
+		./internal/compress/ ./internal/core/ ./internal/analysis/ ./internal/exp/ > BENCH_pr.json
 
 # Short fuzz pass over all six codecs.
 fuzz:

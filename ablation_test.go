@@ -3,6 +3,7 @@ package buddy
 import (
 	"testing"
 
+	"buddy/internal/analysis"
 	"buddy/internal/compress"
 	"buddy/internal/core"
 	"buddy/internal/gpusim"
@@ -29,7 +30,7 @@ func BenchmarkAblationAlgorithm(b *testing.B) {
 				hpc, dl = hpc[:0], dl[:0]
 				for _, bench := range workloads.Table1() {
 					s := workloads.GenerateSnapshot(bench, 5, 16384)
-					r := memory.CompressionRatio(s, c, compress.OptimisticSizes)
+					r := analysis.CompressionRatio(s, c, compress.OptimisticSizes)
 					if bench.Suite == workloads.HPC {
 						hpc = append(hpc, r)
 					} else {

@@ -179,9 +179,10 @@ func BenchmarkCompressors(b *testing.B) {
 	gen.Noisy64{NoiseBits: 8, HiStep: 1}.Fill(entry, gen.NewRNG(1, 1))
 	for _, c := range compress.Registry() {
 		b.Run(c.Name(), func(b *testing.B) {
+			sz := compress.NewSizer(c)
 			b.SetBytes(compress.EntryBytes)
 			for i := 0; i < b.N; i++ {
-				c.CompressedBits(entry)
+				sz.Bits(entry)
 			}
 		})
 	}

@@ -16,7 +16,7 @@
 //   - the profiling pass that chooses per-allocation target compression
 //     ratios under a Buddy Threshold (Profile),
 //   - the hardware compression algorithms the paper evaluates (NewBPC and
-//     the baselines via Compressors),
+//     the baselines via Codecs),
 //   - the synthetic workload suite standing in for the paper's sixteen
 //     benchmarks (Workloads), and
 //   - a self-registering experiment registry that regenerates every table
@@ -85,17 +85,28 @@ func Memcpy(dst, src *Allocation, n int64) (int64, error) {
 // length, and DecompressInto decodes into caller memory.
 type Codec = compress.Codec
 
-// Compressor is a Codec that also carries the legacy allocate-per-call
-// methods (CompressedBits, Compress, Decompress), kept as thin adapters for
-// one release.
-type Compressor = compress.Compressor
+// Compressor is the old name for Codec; the legacy allocate-per-call
+// methods it once carried (CompressedBits, Compress, Decompress) are gone.
+//
+// Deprecated: use Codec.
+type Compressor = compress.Codec
 
 // NewBPC returns Bit-Plane Compression, the paper's chosen algorithm.
-func NewBPC() Compressor { return compress.NewBPC() }
+func NewBPC() Codec { return compress.NewBPC() }
 
-// Compressors returns every implemented algorithm: BPC plus the BDI, FPC,
+// Codecs returns every implemented algorithm: BPC plus the BDI, FPC, FVC,
 // C-PACK and zero-compression baselines of the paper's comparison (§2.4).
-func Compressors() []Compressor { return compress.Registry() }
+func Codecs() []Codec { return compress.Registry() }
+
+// CodecByName returns the implemented algorithm with the given name
+// ("bpc", "bdi", "fpc", "fvc", "cpack", "zero") — the lookup behind
+// name-based codec selection in the command-line tools.
+func CodecByName(name string) (Codec, error) { return compress.ByName(name) }
+
+// Compressors returns every implemented algorithm.
+//
+// Deprecated: use Codecs.
+func Compressors() []Codec { return Codecs() }
 
 // ProfileOptions configure the profiling pass.
 type ProfileOptions = core.ProfileOptions
@@ -109,7 +120,11 @@ type ProfileResult = core.ProfileResult
 func FinalDesign() ProfileOptions { return core.FinalDesign() }
 
 // Profile runs the target-ratio selection pass over profiling snapshots.
-func Profile(snaps []*Snapshot, c Compressor, opt ProfileOptions) *ProfileResult {
+// Each snapshot is compressed exactly once, in parallel, into a shared
+// sector-class index (see internal/analysis) — like the data path, c must
+// be safe for concurrent use (all built-in algorithms are stateless and
+// qualify).
+func Profile(snaps []*Snapshot, c Codec, opt ProfileOptions) *ProfileResult {
 	return core.Profile(snaps, c, opt)
 }
 

@@ -43,10 +43,10 @@ func TestPublicAPIFlow(t *testing.T) {
 	}
 }
 
-func TestCompressorsRegistry(t *testing.T) {
-	cs := Compressors()
+func TestCodecsRegistry(t *testing.T) {
+	cs := Codecs()
 	if len(cs) != 6 {
-		t.Fatalf("want 6 compressors, got %d", len(cs))
+		t.Fatalf("want 6 codecs, got %d", len(cs))
 	}
 	names := map[string]bool{}
 	for _, c := range cs {
@@ -54,8 +54,19 @@ func TestCompressorsRegistry(t *testing.T) {
 	}
 	for _, want := range []string{"bpc", "bdi", "fpc", "fvc", "cpack", "zero"} {
 		if !names[want] {
-			t.Errorf("missing compressor %q", want)
+			t.Errorf("missing codec %q", want)
 		}
+		c, err := CodecByName(want)
+		if err != nil || c.Name() != want {
+			t.Errorf("CodecByName(%q) = %v, %v", want, c, err)
+		}
+	}
+	if _, err := CodecByName("no-such"); err == nil {
+		t.Error("CodecByName should reject unknown names")
+	}
+	// The deprecated alias stays callable for one release.
+	if len(Compressors()) != 6 {
+		t.Error("Compressors alias broken")
 	}
 }
 

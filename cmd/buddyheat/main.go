@@ -6,6 +6,7 @@
 //
 //	buddyheat -bench FF_HPGMG               # ASCII to stdout
 //	buddyheat -bench VGG16 -pgm > vgg.pgm   # grayscale image
+//	buddyheat -bench 356.sp -codec bdi      # a baseline algorithm
 package main
 
 import (
@@ -14,7 +15,6 @@ import (
 	"os"
 
 	"buddy"
-	"buddy/internal/compress"
 	"buddy/internal/heatmap"
 	"buddy/internal/workloads"
 )
@@ -25,7 +25,14 @@ func main() {
 	pgm := flag.Bool("pgm", false, "emit a plain PGM image instead of ASCII")
 	rows := flag.Int("rows", 48, "ASCII rows after downsampling (0 = all)")
 	scale := flag.Int("scale", 4096, "footprint divisor for synthesis")
+	codec := flag.String("codec", "bpc", "compression algorithm (bpc, bdi, fpc, fvc, cpack, zero)")
 	flag.Parse()
+
+	c, err := buddy.CodecByName(*codec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "buddyheat:", err)
+		os.Exit(2)
+	}
 
 	if *bench == "" {
 		fmt.Fprintln(os.Stderr, "buddyheat: -bench is required; available workloads:")
@@ -40,7 +47,7 @@ func main() {
 		os.Exit(1)
 	}
 	s := workloads.GenerateSnapshot(b, *snapshot, *scale)
-	m := heatmap.Build(b.Name, s, compress.NewBPC())
+	m := heatmap.Build(b.Name, s, c)
 	if *pgm {
 		fmt.Print(m.PGM())
 		return

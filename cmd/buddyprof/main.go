@@ -21,10 +21,23 @@ func main() {
 	threshold := flag.Float64("threshold", 0.30, "Buddy Threshold (max overflow fraction)")
 	noZeroPage := flag.Bool("no-zeropage", false, "disable the 16x mostly-zero optimization")
 	scale := flag.Int("scale", 1024, "footprint divisor for synthesis")
+	codec := flag.String("codec", "bpc", "compression algorithm (bpc, bdi, fpc, fvc, cpack, zero)")
 	fig := flag.String("fig", "", "render a whole-suite profiling experiment from the registry (fig7, fig8, fig9) instead of one benchmark")
 	flag.Parse()
 
+	c, err := buddy.CodecByName(*codec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "buddyprof:", err)
+		os.Exit(2)
+	}
+
 	if *fig != "" {
+		if *codec != "bpc" {
+			// The registry experiments are fixed to the paper's BPC; a
+			// silently ignored -codec would mislabel the numbers.
+			fmt.Fprintln(os.Stderr, "buddyprof: -codec applies to single-benchmark profiling, not -fig experiments (which use the paper's BPC)")
+			os.Exit(2)
+		}
 		sc := buddy.QuickScale()
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "scale" {
@@ -60,7 +73,7 @@ func main() {
 	opt := buddy.FinalDesign()
 	opt.Threshold = *threshold
 	opt.ZeroPage = !*noZeroPage
-	res := buddy.Profile(snaps, buddy.NewBPC(), opt)
+	res := buddy.Profile(snaps, c, opt)
 
 	fmt.Printf("%s: profiling over %d snapshots (Buddy Threshold %.0f%%)\n",
 		b.Name, len(snaps), *threshold*100)

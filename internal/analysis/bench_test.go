@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"testing"
+
+	"buddy/internal/compress"
+	"buddy/internal/gen"
+	"buddy/internal/memory"
+)
+
+// BenchmarkAnalysisIndex measures the index builder's throughput — the
+// floor under every snapshot study — on a GPU-typical mixed snapshot
+// (smooth FP64 fields, quantized weights, zero padding) under BPC.
+// SetBytes reports data throughput, so ns/op and MB/s track alongside the
+// codec and bulk-I/O data-path benchmarks in BENCH_pr.json.
+func BenchmarkAnalysisIndex(b *testing.B) {
+	s := &memory.Snapshot{}
+	shapes := []gen.Generator{
+		gen.Noisy64{NoiseBits: 8, HiStep: 1},
+		gen.Weights32{Sigma: 0.02, QuantBits: 12},
+		gen.Blend{A: gen.Zeros{}, B: gen.Random{}, PA: 0.5},
+	}
+	const entriesPerAlloc = 16 * EntriesPerPage // 128 KB each
+	var total int64
+	for gi, g := range shapes {
+		a := memory.NewAllocation(g.Name(), entriesPerAlloc*memory.EntryBytes)
+		g.Fill(a.Data, gen.NewRNG(uint64(gi)*17+1, 7))
+		s.Allocations = append(s.Allocations, a)
+		total += int64(len(a.Data))
+	}
+	bpc := compress.NewBPC()
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(s, bpc)
+	}
+}

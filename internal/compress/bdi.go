@@ -25,7 +25,7 @@ type BDI struct{}
 // NewBDI returns the Base-Delta-Immediate codec.
 func NewBDI() BDI { return BDI{} }
 
-// Name implements Compressor.
+// Name implements Codec.
 func (BDI) Name() string { return "bdi" }
 
 type bdiEncoding struct {
@@ -234,18 +234,3 @@ func (BDI) DecompressInto(dst, comp []byte) error {
 	}
 	return nil
 }
-
-// CompressedBits implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c BDI) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
-
-// Compress implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c BDI) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
-
-// Decompress implements Compressor.
-//
-// Deprecated: use DecompressInto.
-func (c BDI) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }

@@ -52,18 +52,3 @@ func BenchmarkDecompressInto(b *testing.B) {
 		})
 	}
 }
-
-// BenchmarkLegacyCompress measures the deprecated allocate-per-call surface
-// for comparison against BenchmarkAppendCompressed.
-func BenchmarkLegacyCompress(b *testing.B) {
-	entry := benchEntry(b)
-	for _, c := range Registry() {
-		b.Run(c.Name(), func(b *testing.B) {
-			b.SetBytes(EntryBytes)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				c.Compress(entry)
-			}
-		})
-	}
-}

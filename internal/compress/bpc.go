@@ -27,15 +27,15 @@ import (
 // The base symbol uses its own small code (zero / 4-, 8-, 16-bit
 // sign-extended / raw). If the encoded stream would reach or exceed the raw
 // 1024 bits, the entry is stored uncompressed; the compressed/raw flag is
-// carried by the per-entry metadata in hardware, so CompressedBits reports
-// min(encoded, 1024) and the 1-bit stream framing used by Compress is an
-// implementation detail of this software model.
+// carried by the per-entry metadata in hardware, so the reported bit count
+// is min(encoded, 1024) and the 1-bit stream framing is an implementation
+// detail of this software model.
 type BPC struct{}
 
 // NewBPC returns the Bit-Plane Compression codec.
 func NewBPC() BPC { return BPC{} }
 
-// Name implements Compressor.
+// Name implements Codec.
 func (BPC) Name() string { return "bpc" }
 
 const (
@@ -227,18 +227,3 @@ func (BPC) DecompressInto(dst, comp []byte) error {
 	}
 	return nil
 }
-
-// CompressedBits implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c BPC) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
-
-// Compress implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c BPC) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
-
-// Decompress implements Compressor.
-//
-// Deprecated: use DecompressInto.
-func (c BPC) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }

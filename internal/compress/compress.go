@@ -9,18 +9,19 @@
 // restores the original 128 bytes, so the rest of the system can store and
 // round-trip genuine compressed bytes through the modeled memories.
 //
-// The primary API is Codec: a single-pass, allocation-free surface.
+// The API is Codec: a single-pass, allocation-free surface.
 // AppendCompressed encodes an entry once, appending the framed stream to a
 // caller-provided buffer and returning the exact payload bit count — the
 // quantity the Buddy metadata needs — from that same encode. DecompressInto
-// decodes straight into caller memory. The legacy Compressor methods
-// (CompressedBits, Compress, Decompress) remain as thin adapters over Codec
-// for one release.
+// decodes straight into caller memory. (The allocate-per-call Compressor
+// methods CompressedBits/Compress/Decompress that predate Codec are gone;
+// size-only sweeps use Sizer, snapshot studies use internal/analysis.)
 package compress
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -64,35 +65,14 @@ type Codec interface {
 	// EntryBytes*8 — the value the 4-bit Buddy metadata is derived from.
 	// entry must be EntryBytes long.
 	AppendCompressed(dst, entry []byte) (stream []byte, bits int)
-	// DecompressInto decodes a stream produced by AppendCompressed (or the
-	// legacy Compress) into dst, which must be EntryBytes long. On error
-	// dst's contents are unspecified.
+	// DecompressInto decodes a stream produced by AppendCompressed into
+	// dst, which must be EntryBytes long. On error dst's contents are
+	// unspecified.
 	DecompressInto(dst, comp []byte) error
 }
 
-// A Compressor is a Codec that also carries the legacy allocate-per-call
-// methods. All built-in algorithms implement it; the extra methods are thin
-// adapters over the Codec surface and will be removed after one release.
-type Compressor interface {
-	Codec
-	// CompressedBits returns the exact size of the encoded entry in bits.
-	//
-	// Deprecated: use AppendCompressed, which returns the same bit count
-	// from the single encode that also produces the stream.
-	CompressedBits(entry []byte) int
-	// Compress returns the encoded representation of entry. The result is
-	// zero-padded to a whole number of bytes.
-	//
-	// Deprecated: use AppendCompressed with a reused scratch buffer.
-	Compress(entry []byte) []byte
-	// Decompress decodes a stream produced by Compress back into 128 bytes.
-	//
-	// Deprecated: use DecompressInto with caller-owned memory.
-	Decompress(comp []byte) ([]byte, error)
-}
-
-// scratchPool recycles encode scratch buffers for the legacy adapters and
-// one-shot helpers; hot paths hold their own buffers instead.
+// scratchPool recycles encode scratch buffers for the one-shot helpers;
+// hot paths hold their own buffers instead.
 var scratchPool = sync.Pool{
 	New: func() any {
 		b := make([]byte, 0, MaxStreamBytes)
@@ -100,35 +80,14 @@ var scratchPool = sync.Pool{
 	},
 }
 
-// legacyBits implements the CompressedBits adapters: one encode into pooled
-// scratch, keep only the bit count.
-func legacyBits(c Codec, entry []byte) int {
+// oneShotBits returns the exact payload bit count of entry under c with
+// one encode into pooled scratch. Prefer a Sizer in loops.
+func oneShotBits(c Codec, entry []byte) int {
 	bp := scratchPool.Get().(*[]byte)
 	stream, bits := c.AppendCompressed((*bp)[:0], entry)
 	*bp = stream[:0]
 	scratchPool.Put(bp)
 	return bits
-}
-
-// legacyCompress implements the Compress adapters: a fresh exact-size copy
-// of the framed stream.
-func legacyCompress(c Codec, entry []byte) []byte {
-	bp := scratchPool.Get().(*[]byte)
-	stream, _ := c.AppendCompressed((*bp)[:0], entry)
-	out := make([]byte, len(stream))
-	copy(out, stream)
-	*bp = stream[:0]
-	scratchPool.Put(bp)
-	return out
-}
-
-// legacyDecompress implements the Decompress adapters.
-func legacyDecompress(c Codec, comp []byte) ([]byte, error) {
-	dst := make([]byte, EntryBytes)
-	if err := c.DecompressInto(dst, comp); err != nil {
-		return nil, err
-	}
-	return dst, nil
 }
 
 // rawFallback rewinds w to the framing position at byte offset start and
@@ -205,12 +164,6 @@ func RoundToClass(size int, classes []int) int {
 	return classes[len(classes)-1]
 }
 
-// CompressedBytes returns the compressor's encoded size rounded up to whole
-// bytes.
-func CompressedBytes(c Compressor, entry []byte) int {
-	return (legacyBits(c, entry) + 7) / 8
-}
-
 // SectorsForBits returns how many 32 B sectors a compressed payload of the
 // given bit length occupies: the quantity the Buddy design stores in its
 // 4-bit per-entry metadata. The result is in [0, 4]; 0 means the entry
@@ -229,8 +182,8 @@ func SectorsForBits(bits int) int {
 // SectorsNeeded returns the sector count of entry's compressed form under c.
 // Prefer a Sizer (or AppendCompressed directly) in loops: this convenience
 // re-encodes the entry each call.
-func SectorsNeeded(c Compressor, entry []byte) int {
-	return SectorsForBits(legacyBits(c, entry))
+func SectorsNeeded(c Codec, entry []byte) int {
+	return SectorsForBits(oneShotBits(c, entry))
 }
 
 // ZeroPageBytes is the per-entry device budget of the 16x mostly-zero target
@@ -264,10 +217,23 @@ func checkDst(dst []byte) {
 	}
 }
 
-// Registry returns the full set of implemented compressors, used by the
+// Registry returns the full set of implemented codecs, used by the
 // algorithm-comparison ablation bench (§2.4 "After comparing several
 // algorithms ... we choose BPC": the comparison set spans BDI, FPC, FVC,
 // C-PACK and BPC).
-func Registry() []Compressor {
-	return []Compressor{NewBPC(), NewBDI(), NewFPC(), NewFVC(), NewCPack(), Zero{}}
+func Registry() []Codec {
+	return []Codec{NewBPC(), NewBDI(), NewFPC(), NewFVC(), NewCPack(), Zero{}}
+}
+
+// ByName returns the registered codec with the given name — the lookup
+// behind name-based selection in command-line flags.
+func ByName(name string) (Codec, error) {
+	names := make([]string, 0, 6)
+	for _, c := range Registry() {
+		if c.Name() == name {
+			return c, nil
+		}
+		names = append(names, c.Name())
+	}
+	return nil, fmt.Errorf("compress: unknown codec %q (have %s)", name, strings.Join(names, ", "))
 }

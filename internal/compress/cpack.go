@@ -22,7 +22,7 @@ type CPack struct{}
 // NewCPack returns the C-PACK codec.
 func NewCPack() CPack { return CPack{} }
 
-// Name implements Compressor.
+// Name implements Codec.
 func (CPack) Name() string { return "cpack" }
 
 const cpackDictSize = 16
@@ -164,18 +164,3 @@ func (CPack) DecompressInto(dst, comp []byte) error {
 	}
 	return nil
 }
-
-// CompressedBits implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c CPack) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
-
-// Compress implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c CPack) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
-
-// Decompress implements Compressor.
-//
-// Deprecated: use DecompressInto.
-func (c CPack) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }

@@ -20,7 +20,7 @@ type FPC struct{}
 // NewFPC returns the Frequent Pattern Compression codec.
 func NewFPC() FPC { return FPC{} }
 
-// Name implements Compressor.
+// Name implements Codec.
 func (FPC) Name() string { return "fpc" }
 
 func fpcFits(v uint32, bits int) bool {
@@ -140,18 +140,3 @@ func (FPC) DecompressInto(dst, comp []byte) error {
 	}
 	return nil
 }
-
-// CompressedBits implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c FPC) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
-
-// Compress implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c FPC) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
-
-// Decompress implements Compressor.
-//
-// Deprecated: use DecompressInto.
-func (c FPC) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }

@@ -19,7 +19,7 @@ type FVC struct{}
 // NewFVC returns the Frequent Value Compression codec.
 func NewFVC() FVC { return FVC{} }
 
-// Name implements Compressor.
+// Name implements Codec.
 func (FVC) Name() string { return "fvc" }
 
 const fvcDictMax = 8
@@ -127,18 +127,3 @@ func (FVC) DecompressInto(dst, comp []byte) error {
 	}
 	return nil
 }
-
-// CompressedBits implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c FVC) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
-
-// Compress implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c FVC) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
-
-// Decompress implements Compressor.
-//
-// Deprecated: use DecompressInto.
-func (c FVC) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }

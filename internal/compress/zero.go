@@ -5,7 +5,7 @@ package compress
 // detector for the paper's mostly-zero allocation optimization (§3.4).
 type Zero struct{}
 
-// Name implements Compressor.
+// Name implements Codec.
 func (Zero) Name() string { return "zero" }
 
 // AppendCompressed implements Codec: one framing bit (0 = zero entry, the
@@ -38,29 +38,13 @@ func (Zero) DecompressInto(dst, comp []byte) error {
 	return decodeRawEntry(dst, r)
 }
 
-// CompressedBits implements Compressor: 0 bits for an all-zero entry
-// (existence is encoded in metadata), raw size otherwise.
-//
-// Deprecated: use AppendCompressed.
-func (c Zero) CompressedBits(entry []byte) int { return legacyBits(c, entry) }
-
-// Compress implements Compressor.
-//
-// Deprecated: use AppendCompressed.
-func (c Zero) Compress(entry []byte) []byte { return legacyCompress(c, entry) }
-
-// Decompress implements Compressor.
-//
-// Deprecated: use DecompressInto.
-func (c Zero) Decompress(comp []byte) ([]byte, error) { return legacyDecompress(c, comp) }
-
 // OptimisticSize returns the entry's compressed size rounded to the paper's
 // optimistic eight-size study (Fig. 3): all-zero entries take the 0 B class
 // (representable purely in metadata), others round up within
 // OptimisticSizes.
-func OptimisticSize(c Compressor, entry []byte) int {
+func OptimisticSize(c Codec, entry []byte) int {
 	if bdiAllZero(entry) {
 		return 0
 	}
-	return RoundToClass(CompressedBytes(c, entry), OptimisticSizes)
+	return RoundToClass((oneShotBits(c, entry)+7)/8, OptimisticSizes)
 }

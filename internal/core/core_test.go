@@ -332,7 +332,7 @@ func TestQuickDeviceRoundTrip(t *testing.T) {
 
 func TestDeviceWithAllCompressors(t *testing.T) {
 	for _, c := range compress.Registry() {
-		d := NewDevice(Config{DeviceBytes: 1 << 20, Compressor: c})
+		d := NewDevice(Config{DeviceBytes: 1 << 20, Codec: c})
 		a, err := d.Malloc("x", 16<<10, Target2x)
 		if err != nil {
 			t.Fatal(err)

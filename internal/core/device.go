@@ -15,8 +15,10 @@ const EntryBytes = compress.EntryBytes
 
 // Config parameterizes a Buddy Compression device.
 type Config struct {
-	// Compressor is the memory compression algorithm (default BPC, §2.4).
-	Compressor compress.Compressor
+	// Codec is the memory compression algorithm (default BPC, §2.4). It
+	// must be safe for concurrent use: the bulk data path fans it out
+	// across a worker pool.
+	Codec compress.Codec
 	// DeviceBytes is the GPU device memory capacity available for
 	// compressed allocations.
 	DeviceBytes int64
@@ -44,7 +46,7 @@ type Config struct {
 // 12 GB device (Titan Xp class, as in the DL case study).
 func DefaultConfig() Config {
 	return Config{
-		Compressor:          compress.NewBPC(),
+		Codec:               compress.NewBPC(),
 		DeviceBytes:         12 << 30,
 		CarveoutFactor:      3,
 		Link:                nvlink.DefaultConfig(),
@@ -161,8 +163,8 @@ var ErrOutOfMemory = errors.New("core: out of memory")
 // zero fields.
 func NewDevice(cfg Config) *Device {
 	def := DefaultConfig()
-	if cfg.Compressor == nil {
-		cfg.Compressor = def.Compressor
+	if cfg.Codec == nil {
+		cfg.Codec = def.Codec
 	}
 	if cfg.DeviceBytes == 0 {
 		cfg.DeviceBytes = def.DeviceBytes
@@ -378,7 +380,7 @@ func (a *Allocation) writeEntry(i int, data []byte, scratch *[]byte) error {
 		return fmt.Errorf("core: entry must be %d bytes, got %d", EntryBytes, len(data))
 	}
 	d := a.dev
-	stream, bits := d.cfg.Compressor.AppendCompressed((*scratch)[:0], data)
+	stream, bits := d.cfg.Codec.AppendCompressed((*scratch)[:0], data)
 	*scratch = stream[:0]
 	sectors := compress.SectorsForBits(bits)
 	g := a.firstEntry + i
@@ -455,7 +457,7 @@ func (a *Allocation) readEntry(i int, dst []byte, scratch *[]byte) error {
 		clear(dst)
 		return nil
 	}
-	if err := d.cfg.Compressor.DecompressInto(dst, *scratch); err != nil {
+	if err := d.cfg.Codec.DecompressInto(dst, *scratch); err != nil {
 		return fmt.Errorf("core: entry %d of %s: %w", i, a.Name, err)
 	}
 	return nil

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"buddy/internal/analysis"
 	"buddy/internal/compress"
 	"buddy/internal/memory"
 )
@@ -103,11 +104,20 @@ func (r *ProfileResult) Targets() map[string]TargetRatio {
 }
 
 // Profile runs the paper's profiling pass over a run's snapshots: it
-// histograms per-entry compressed sector counts per allocation, picks the
-// most aggressive target whose overflow stays within the Buddy Threshold,
-// applies the zero-page special case, and demotes targets until the
-// aggregate ratio respects the carve-out cap (§3.4, §3.5).
-func Profile(snaps []*memory.Snapshot, c compress.Compressor, opt ProfileOptions) *ProfileResult {
+// indexes each snapshot once (one parallel encode pass per snapshot, via
+// internal/analysis), histograms per-entry compressed sector counts per
+// allocation, picks the most aggressive target whose overflow stays within
+// the Buddy Threshold, applies the zero-page special case, and demotes
+// targets until the aggregate ratio respects the carve-out cap (§3.4, §3.5).
+func Profile(snaps []*memory.Snapshot, c compress.Codec, opt ProfileOptions) *ProfileResult {
+	return ProfileIndexes(analysis.BuildRun(snaps, c), opt)
+}
+
+// ProfileIndexes is Profile over pre-built snapshot indexes — the entry
+// point for sweeps that reuse one index per snapshot x codec across many
+// profiling configurations (Fig. 7's three design points, Fig. 9's
+// threshold sweep) without re-encoding anything.
+func ProfileIndexes(idx []*analysis.Index, opt ProfileOptions) *ProfileResult {
 	if opt.Threshold <= 0 {
 		opt.Threshold = 0.30
 	}
@@ -117,7 +127,7 @@ func Profile(snaps []*memory.Snapshot, c compress.Compressor, opt ProfileOptions
 	if opt.ZeroPageMinFrac <= 0 {
 		opt.ZeroPageMinFrac = 0.90
 	}
-	profiles := collectProfiles(snaps, c)
+	profiles := collectProfiles(idx)
 	if opt.PerAllocation {
 		for _, p := range profiles {
 			p.Target = chooseTarget(p, opt)
@@ -129,7 +139,7 @@ func Profile(snaps []*memory.Snapshot, c compress.Compressor, opt ProfileOptions
 		// sector-granular compression. Averages hide variance, so this
 		// choice both compresses less than per-allocation targets and
 		// overflows far more entries to buddy memory.
-		t := naiveTarget(snaps, c)
+		t := naiveTarget(idx)
 		for _, p := range profiles {
 			p.Target = t
 		}
@@ -138,27 +148,36 @@ func Profile(snaps []*memory.Snapshot, c compress.Compressor, opt ProfileOptions
 	for _, p := range profiles {
 		p.OverflowFrac = overflowFrac(p, p.Target)
 	}
-	return summarize(profiles, snaps, c)
+	return summarize(profiles, idx)
 }
 
-func collectProfiles(snaps []*memory.Snapshot, c compress.Compressor) []*AllocationProfile {
+func collectProfiles(idx []*analysis.Index) []*AllocationProfile {
 	index := make(map[string]*AllocationProfile)
 	var order []*AllocationProfile
-	for _, s := range snaps {
-		for _, a := range s.Allocations {
+	for _, x := range idx {
+		for _, a := range x.Allocs {
 			p := index[a.Name]
 			if p == nil {
-				p = &AllocationProfile{Name: a.Name, Entries: a.Entries(), MinZeroFrac: 1}
+				p = &AllocationProfile{Name: a.Name, MinZeroFrac: 1}
 				index[a.Name] = p
 				order = append(order, p)
 			}
-			h := memory.SectorHistogram(a, c)
+			// Entries is the allocation's full size: take the largest
+			// instance so a snapshot where it is empty (or still growing)
+			// doesn't zero its weight in the aggregate ratios.
+			if n := a.Entries(); n > p.Entries {
+				p.Entries = n
+			}
+			h := a.SectorHistogram()
 			for s := range h {
 				p.Hist[s] += h[s]
 			}
-			zf := float64(h[0]) / float64(a.Entries())
-			if zf < p.MinZeroFrac {
-				p.MinZeroFrac = zf
+			// An empty instance carries no evidence about the data; it must
+			// not drag MinZeroFrac to 0 and veto the 16x zero-page target.
+			if a.Entries() > 0 {
+				if zf := a.ZeroPageFrac(); zf < p.MinZeroFrac {
+					p.MinZeroFrac = zf
+				}
 			}
 		}
 	}
@@ -201,21 +220,17 @@ func chooseTarget(p *AllocationProfile, opt ProfileOptions) TargetRatio {
 // over snapshots of the sector-quantized compression ratio (entries below
 // one sector still cost a sector without the zero-page mode), rounded down
 // to an allowed target.
-func naiveTarget(snaps []*memory.Snapshot, c compress.Compressor) TargetRatio {
+func naiveTarget(idx []*analysis.Index) TargetRatio {
 	prog := 4.0
-	sz := compress.NewSizer(c)
-	for _, s := range snaps {
+	for _, x := range idx {
 		var orig, comp float64
-		for _, a := range s.Allocations {
-			n := a.Entries()
-			for i := 0; i < n; i++ {
-				sec := sz.Sectors(a.Entry(i))
-				if sec == 0 {
-					sec = 1
-				}
-				orig += 128
-				comp += float64(sec * 32)
+		for s, n := range x.SectorHistogram() {
+			sec := s
+			if sec == 0 {
+				sec = 1
 			}
+			orig += 128 * float64(n)
+			comp += float64(sec*32) * float64(n)
 		}
 		if comp > 0 && orig/comp < prog {
 			prog = orig / comp
@@ -263,7 +278,7 @@ func enforceCarveoutCap(profiles []*AllocationProfile, maxAgg float64) {
 	}
 }
 
-func summarize(profiles []*AllocationProfile, snaps []*memory.Snapshot, c compress.Compressor) *ProfileResult {
+func summarize(profiles []*AllocationProfile, idx []*analysis.Index) *ProfileResult {
 	res := &ProfileResult{Allocations: profiles}
 	var orig, dev, overflowWeighted, entriesTotal float64
 	for _, p := range profiles {
@@ -278,7 +293,7 @@ func summarize(profiles []*AllocationProfile, snaps []*memory.Snapshot, c compre
 	if entriesTotal > 0 {
 		res.BuddyAccessFraction = overflowWeighted / entriesTotal
 	}
-	res.BestAchievable = bestAchievable(snaps, c)
+	res.BestAchievable = bestAchievable(idx)
 	return res
 }
 
@@ -286,23 +301,18 @@ func summarize(profiles []*AllocationProfile, snaps []*memory.Snapshot, c compre
 // admits (zero-page entries at 8 B), averaged over snapshots and capped at
 // the 4x carve-out limit — the "best achievable compression ratio assuming
 // no constraints are placed on the buddy-memory accesses" of Fig. 9.
-func bestAchievable(snaps []*memory.Snapshot, c compress.Compressor) float64 {
-	if len(snaps) == 0 {
+func bestAchievable(idx []*analysis.Index) float64 {
+	if len(idx) == 0 {
 		return 1
 	}
 	var orig, comp float64
-	sz := compress.NewSizer(c)
-	for _, s := range snaps {
-		for _, a := range s.Allocations {
-			n := a.Entries()
-			for i := 0; i < n; i++ {
-				sec := sz.Sectors(a.Entry(i))
-				orig += 128
-				if sec == 0 {
-					comp += 8
-				} else {
-					comp += float64(sec * 32)
-				}
+	for _, x := range idx {
+		for s, n := range x.SectorHistogram() {
+			orig += 128 * float64(n)
+			if s == 0 {
+				comp += 8 * float64(n)
+			} else {
+				comp += float64(s*32) * float64(n)
 			}
 		}
 	}
@@ -319,24 +329,27 @@ func bestAchievable(snaps []*memory.Snapshot, c compress.Compressor) float64 {
 // MeasureSnapshot reports, for a snapshot under given targets, the achieved
 // device ratio and the entry-weighted overflow fraction — used for the
 // over-time studies (Fig. 8) where targets stay fixed while data changes.
-func MeasureSnapshot(s *memory.Snapshot, c compress.Compressor, targets map[string]TargetRatio) (ratio, buddyFrac float64) {
+func MeasureSnapshot(s *memory.Snapshot, c compress.Codec, targets map[string]TargetRatio) (ratio, buddyFrac float64) {
+	return MeasureIndex(analysis.Build(s, c), targets)
+}
+
+// MeasureIndex is MeasureSnapshot over a pre-built snapshot index.
+func MeasureIndex(x *analysis.Index, targets map[string]TargetRatio) (ratio, buddyFrac float64) {
 	var orig, dev, over, entries float64
-	sz := compress.NewSizer(c)
-	for _, a := range s.Allocations {
+	for _, a := range x.Allocs {
 		t, ok := targets[a.Name]
 		if !ok {
 			t = Target1x
 		}
-		n := a.Entries()
-		for i := 0; i < n; i++ {
-			sec := sz.Sectors(a.Entry(i))
-			if !t.Fits(sec) {
-				over++
+		for s, n := range a.SectorHistogram() {
+			if !t.Fits(s) {
+				over += float64(n)
 			}
 		}
-		entries += float64(n)
-		orig += float64(n) * 128
-		dev += float64(n) * float64(t.DeviceBytes())
+		n := float64(a.Entries())
+		entries += n
+		orig += n * 128
+		dev += n * float64(t.DeviceBytes())
 	}
 	if dev > 0 {
 		ratio = orig / dev

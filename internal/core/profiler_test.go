@@ -195,3 +195,35 @@ func TestBestAchievableCapped(t *testing.T) {
 		t.Errorf("best achievable %.2f must respect the carve-out cap", res.BestAchievable)
 	}
 }
+
+func TestProfileSkipsEmptyInstances(t *testing.T) {
+	// Regression: an allocation that is present but empty in one profiling
+	// snapshot carries no evidence about the data and must not drag
+	// MinZeroFrac to 0 and veto the 16x zero-page target (the pre-index
+	// code skipped empty instances via a NaN comparison).
+	zeros := memory.NewAllocation("z", 512*128)
+	ballast := memory.NewAllocation("r", 2048*128) // keeps the aggregate under the 4x cap
+	gen.Random{}.Fill(ballast.Data, gen.NewRNG(9, 3))
+	full := &memory.Snapshot{Index: 1, Allocations: []*memory.Allocation{zeros, ballast}}
+	empty := &memory.Snapshot{Index: 0, Allocations: []*memory.Allocation{{Name: "z"}, ballast}}
+	for _, order := range [][]*memory.Snapshot{{empty, full}, {full, empty}} {
+		res := Profile(order, compress.NewBPC(), FinalDesign())
+		if got := res.Targets()["z"]; got != Target16x {
+			t.Errorf("mostly-zero allocation with one empty dump: target %s, want 16x", got)
+		}
+		// Entries must come from the non-empty instance regardless of
+		// snapshot order, so the allocation keeps its weight in the
+		// aggregate ratio.
+		zp := res.Allocations[0]
+		if zp.Name != "z" {
+			zp = res.Allocations[1]
+		}
+		if zp.Entries != 512 {
+			t.Errorf("entries = %d, want 512", zp.Entries)
+		}
+		want := float64((512+2048)*128) / float64(512*8+2048*128)
+		if res.CompressionRatio < want-0.01 || res.CompressionRatio > want+0.01 {
+			t.Errorf("ratio = %.3f, want %.3f regardless of snapshot order", res.CompressionRatio, want)
+		}
+	}
+}

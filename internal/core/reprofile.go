@@ -1,6 +1,7 @@
 package core
 
 import (
+	"buddy/internal/analysis"
 	"buddy/internal/compress"
 	"buddy/internal/memory"
 )
@@ -60,10 +61,18 @@ func (p *ReprofilePlan) Worthwhile(horizonAccesses int64) bool {
 
 // PlanReprofile computes a checkpoint-time target update. current maps
 // allocation names to the targets in force (missing names default to 1x);
-// snaps are fresh profiling dumps of the current data.
+// snaps are fresh profiling dumps of the current data. The fresh dumps are
+// indexed once (see internal/analysis); callers that already hold indexes
+// use PlanReprofileIndexes.
 func PlanReprofile(current map[string]TargetRatio, snaps []*memory.Snapshot,
-	c compress.Compressor, opt ProfileOptions) *ReprofilePlan {
-	res := Profile(snaps, c, opt)
+	c compress.Codec, opt ProfileOptions) *ReprofilePlan {
+	return PlanReprofileIndexes(current, analysis.BuildRun(snaps, c), opt)
+}
+
+// PlanReprofileIndexes is PlanReprofile over pre-built snapshot indexes.
+func PlanReprofileIndexes(current map[string]TargetRatio, idx []*analysis.Index,
+	opt ProfileOptions) *ReprofilePlan {
+	res := ProfileIndexes(idx, opt)
 	plan := &ReprofilePlan{Result: res}
 
 	var entriesTotal float64

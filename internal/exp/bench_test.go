@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"testing"
+)
+
+// resetIndexCache empties the shared snapshot-index cache so each benchmark
+// iteration measures a cold all-workloads sweep, not a cache hit.
+func resetIndexCache() {
+	indexCache.Lock()
+	indexCache.m = make(map[indexKey]*indexEntry)
+	indexCache.Unlock()
+}
+
+// benchSweepScale keeps the sweep benches CI-friendly (seconds, not
+// minutes); per-entry statistics are scale-free.
+const benchSweepScale = 16384
+
+// BenchmarkFig3Sweep regenerates the Fig. 3 optimistic-compression study
+// over all sixteen workloads from a cold index cache — the end-to-end
+// analysis-pipeline throughput (synthesis + one parallel encode pass per
+// snapshot + class-rounded ratios) that BENCH_pr.json tracks alongside the
+// data-path benchmarks.
+func BenchmarkFig3Sweep(b *testing.B) {
+	var res *Fig3Result
+	for i := 0; i < b.N; i++ {
+		resetIndexCache()
+		res = Fig3(benchSweepScale)
+	}
+	b.ReportMetric(res.GMeanHPC, "gmeanHPC")
+	b.ReportMetric(res.GMeanDL, "gmeanDL")
+}

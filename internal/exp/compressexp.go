@@ -12,7 +12,6 @@ import (
 	"buddy/internal/compress"
 	"buddy/internal/core"
 	"buddy/internal/heatmap"
-	"buddy/internal/memory"
 	"buddy/internal/stats"
 	"buddy/internal/trace"
 	"buddy/internal/workloads"
@@ -64,6 +63,8 @@ type Fig3Result struct {
 
 // Fig3 computes the paper's Fig. 3: per-benchmark BPC compression ratio
 // under the optimistic eight-size study, for each of the ten snapshots.
+// Ratios are read from the shared per-snapshot index (one encode pass per
+// snapshot x codec across all figures).
 func Fig3(scale int) *Fig3Result {
 	bpc := compress.NewBPC()
 	res := &Fig3Result{}
@@ -71,8 +72,8 @@ func Fig3(scale int) *Fig3Result {
 	for _, b := range workloads.Table1() {
 		row := Fig3Row{Name: b.Name, Suite: b.Suite}
 		for t := 0; t < workloads.Snapshots; t++ {
-			s := workloads.GenerateSnapshot(b, t, scale)
-			row.Ratios = append(row.Ratios, memory.CompressionRatio(s, bpc, compress.OptimisticSizes))
+			x := snapshotIndex(b, t, scale, bpc)
+			row.Ratios = append(row.Ratios, x.CompressionRatio(compress.OptimisticSizes))
 		}
 		row.Mean = stats.Mean(row.Ratios)
 		res.Rows = append(res.Rows, row)
@@ -142,13 +143,12 @@ func Fig5b(sizesKB []int) []Fig5bRow {
 // ---------------------------------------------------------------------------
 
 // Fig6 builds the Fig. 6 heat-map for every benchmark at mid-run
-// (snapshot 5).
+// (snapshot 5), rendered straight from the shared per-snapshot index.
 func Fig6(scale int) []*heatmap.Map {
 	bpc := compress.NewBPC()
 	var maps []*heatmap.Map
 	for _, b := range workloads.Table1() {
-		s := workloads.GenerateSnapshot(b, 5, scale)
-		maps = append(maps, heatmap.Build(b.Name, s, bpc))
+		maps = append(maps, heatmap.FromIndex(b.Name, snapshotIndex(b, 5, scale, bpc)))
 	}
 	return maps
 }
@@ -184,8 +184,7 @@ type Fig7Result struct {
 }
 
 func runProfile(b workloads.Benchmark, scale int, opt core.ProfileOptions) Mode {
-	snaps := workloads.GenerateRun(b, scale)
-	res := core.Profile(snaps, compress.NewBPC(), opt)
+	res := core.ProfileIndexes(runIndexes(b, scale, compress.NewBPC()), opt)
 	return Mode{Ratio: res.CompressionRatio, BuddyFrac: res.BuddyAccessFraction}
 }
 
@@ -240,12 +239,12 @@ func Fig9(scale int, thresholds []float64) []Fig9Row {
 	}
 	var rows []Fig9Row
 	for _, b := range workloads.Table1() {
-		snaps := workloads.GenerateRun(b, scale)
+		idx := runIndexes(b, scale, compress.NewBPC())
 		row := Fig9Row{Name: b.Name, Suite: b.Suite, Thresholds: thresholds}
 		for _, th := range thresholds {
 			opt := core.FinalDesign()
 			opt.Threshold = th
-			r := core.Profile(snaps, compress.NewBPC(), opt)
+			r := core.ProfileIndexes(idx, opt)
 			row.Points = append(row.Points, Mode{Ratio: r.CompressionRatio, BuddyFrac: r.BuddyAccessFraction})
 			row.Best = r.BestAchievable
 		}
@@ -282,12 +281,12 @@ func Fig8(scale int) []Fig8Row {
 		if err != nil {
 			panic(err) // static benchmark list; unreachable
 		}
-		snaps := workloads.GenerateRun(b, scale)
-		prof := core.Profile(snaps, compress.NewBPC(), core.FinalDesign())
+		idx := runIndexes(b, scale, compress.NewBPC())
+		prof := core.ProfileIndexes(idx, core.FinalDesign())
 		targets := prof.Targets()
 		row := Fig8Row{Name: name}
-		for t, s := range snaps {
-			ratio, frac := core.MeasureSnapshot(s, compress.NewBPC(), targets)
+		for t, x := range idx {
+			ratio, frac := core.MeasureIndex(x, targets)
 			row.Points = append(row.Points, Fig8Point{Snapshot: t, Ratio: ratio, BuddyFrac: frac})
 		}
 		rows = append(rows, row)

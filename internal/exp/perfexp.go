@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"buddy/internal/compress"
 	"buddy/internal/core"
 	"buddy/internal/gpusim"
 	"buddy/internal/stats"
@@ -97,7 +98,10 @@ func Fig11(scale int, cfg gpusim.Config, links []float64) *Fig11Result {
 
 	for _, b := range workloads.Table1() {
 		footprint := uint64(b.Footprint / fig11AddressScale)
-		dm := gpusim.BuildDataModel(b, footprint, scale, core.FinalDesign())
+		// Profile from the shared snapshot indexes (one encode pass per
+		// snapshot x codec across all figures) instead of re-encoding.
+		prof := core.ProfileIndexes(runIndexes(b, scale, compress.NewBPC()), core.FinalDesign())
+		dm := gpusim.DataModelFromProfile(b, footprint, prof)
 		ideal := gpusim.UncompressedModel(footprint)
 
 		base := gpusim.Run(b.Trace, ideal, gpusim.ModeIdeal, cfg)

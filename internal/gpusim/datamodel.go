@@ -26,10 +26,18 @@ type dmRegion struct {
 
 // BuildDataModel profiles benchmark b (at the given synthesis scale) and
 // lays its allocations across footprint bytes of simulated address space in
-// region order.
+// region order. Callers that already hold a profiling result — e.g. the
+// Fig. 11 sweep, whose snapshot indexes are shared with the compression
+// figures — use DataModelFromProfile instead.
 func BuildDataModel(b workloads.Benchmark, footprint uint64, scale int, opt core.ProfileOptions) *DataModel {
 	snaps := workloads.GenerateRun(b, scale)
-	prof := core.Profile(snaps, compress.NewBPC(), opt)
+	return DataModelFromProfile(b, footprint, core.Profile(snaps, compress.NewBPC(), opt))
+}
+
+// DataModelFromProfile lays benchmark b's allocations across footprint
+// bytes of simulated address space using an existing profiling result's
+// targets and sector histograms.
+func DataModelFromProfile(b workloads.Benchmark, footprint uint64, prof *core.ProfileResult) *DataModel {
 	targets := prof.Targets()
 
 	hist := map[string][5]int{}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"buddy/internal/analysis"
 	"buddy/internal/compress"
 	"buddy/internal/memory"
 )
@@ -20,17 +21,23 @@ type Map struct {
 	Rows [][]uint8
 }
 
-// Build computes the compressibility map of a snapshot under compressor c,
-// concatenating allocations in address order exactly as the paper lays the
-// virtual address space vertically.
-func Build(name string, s *memory.Snapshot, c compress.Compressor) *Map {
+// Build computes the compressibility map of a snapshot under codec c. It
+// indexes the snapshot (one encode per entry, in parallel) and renders from
+// the index; callers that already hold an index use FromIndex instead.
+func Build(name string, s *memory.Snapshot, c compress.Codec) *Map {
+	return FromIndex(name, analysis.Build(s, c))
+}
+
+// FromIndex renders the compressibility map from an existing sector-class
+// index, concatenating allocations in address order exactly as the paper
+// lays the virtual address space vertically.
+func FromIndex(name string, x *analysis.Index) *Map {
 	m := &Map{Name: name}
 	row := make([]uint8, 0, memory.EntriesPerPage)
-	sz := compress.NewSizer(c)
-	for _, a := range s.Allocations {
+	for _, a := range x.Allocs {
 		n := a.Entries()
 		for i := 0; i < n; i++ {
-			row = append(row, uint8(sz.Sectors(a.Entry(i))))
+			row = append(row, uint8(a.SectorClass(i)))
 			if len(row) == memory.EntriesPerPage {
 				m.Rows = append(m.Rows, row)
 				row = make([]uint8, 0, memory.EntriesPerPage)
@@ -74,7 +81,14 @@ func (m *Map) ASCII(maxRows int) string {
 	return b.String()
 }
 
+// downsample buckets rows into maxRows output rows, each the element-wise
+// maximum of its bucket. Degenerate inputs (no rows, or a non-positive
+// maxRows that slipped past the caller) return the input unchanged rather
+// than dividing by zero.
 func downsample(rows [][]uint8, maxRows int) [][]uint8 {
+	if len(rows) == 0 || maxRows <= 0 || len(rows) <= maxRows {
+		return rows
+	}
 	out := make([][]uint8, maxRows)
 	for o := 0; o < maxRows; o++ {
 		lo := o * len(rows) / maxRows

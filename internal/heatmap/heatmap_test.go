@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"buddy/internal/analysis"
 	"buddy/internal/compress"
 	"buddy/internal/gen"
 	"buddy/internal/memory"
@@ -67,5 +68,56 @@ func TestHomogeneityIndex(t *testing.T) {
 	mixed := &Map{Rows: [][]uint8{{0, 4, 0, 4}}}
 	if h := mixed.HomogeneityIndex(); h != 0 {
 		t.Errorf("alternating row should be fully heterogeneous, got %.3f", h)
+	}
+}
+
+func TestBuildFromSharedIndex(t *testing.T) {
+	// FromIndex over a prebuilt index must equal Build from the snapshot.
+	s := buildSnapshot()
+	direct := Build("test", s, compress.NewBPC())
+	shared := FromIndex("test", analysis.Build(s, compress.NewBPC()))
+	if len(direct.Rows) != len(shared.Rows) {
+		t.Fatalf("row count %d vs %d", len(direct.Rows), len(shared.Rows))
+	}
+	for r := range direct.Rows {
+		for i := range direct.Rows[r] {
+			if direct.Rows[r][i] != shared.Rows[r][i] {
+				t.Fatalf("row %d col %d: %d vs %d", r, i, direct.Rows[r][i], shared.Rows[r][i])
+			}
+		}
+	}
+}
+
+func TestDegenerateMaps(t *testing.T) {
+	// Regression: empty snapshots and degenerate downsample arguments must
+	// render instead of dividing by zero.
+	empty := Build("empty", &memory.Snapshot{}, compress.NewBPC())
+	if len(empty.Rows) != 0 {
+		t.Fatalf("empty snapshot produced %d rows", len(empty.Rows))
+	}
+	for _, maxRows := range []int{0, 1, 48} {
+		if out := empty.ASCII(maxRows); !strings.Contains(out, "0 pages") {
+			t.Errorf("ASCII(%d) header wrong: %q", maxRows, out)
+		}
+	}
+	if pgm := empty.PGM(); !strings.HasPrefix(pgm, "P2\n64 0\n255\n") {
+		t.Errorf("empty PGM header: %q", pgm)
+	}
+	if h := empty.HomogeneityIndex(); h != 0 {
+		t.Errorf("empty homogeneity = %.3f, want 0", h)
+	}
+	// downsample called directly with degenerate arguments.
+	if got := downsample(nil, 4); len(got) != 0 {
+		t.Errorf("downsample(nil) produced %d rows", len(got))
+	}
+	rows := [][]uint8{{1, 2}, {3, 0}}
+	if got := downsample(rows, 0); len(got) != 2 {
+		t.Errorf("downsample(maxRows=0) should pass rows through, got %d", len(got))
+	}
+	if got := downsample(rows, 5); len(got) != 2 {
+		t.Errorf("downsample beyond row count should pass rows through, got %d", len(got))
+	}
+	if got := downsample(rows, 1); len(got) != 1 || got[0][0] != 3 || got[0][1] != 2 {
+		t.Errorf("downsample to 1 row = %v, want [[3 2]]", got)
 	}
 }

@@ -3,7 +3,9 @@
 // DRAM access granularity), 8 KB pages (the unit of the Fig. 6 heat-maps and
 // of the page-table metadata), cudaMalloc-style allocations (the granularity
 // of target-compression-ratio annotation, §3.4), and whole-memory snapshots
-// (the paper's periodic memory dumps, §3.1).
+// (the paper's periodic memory dumps, §3.1). Compressibility statistics over
+// these objects (ratios, sector histograms) live in internal/analysis,
+// which indexes a snapshot with exactly one encode per entry.
 package memory
 
 import (
@@ -85,58 +87,6 @@ func NewAllocation(name string, size int) *Allocation {
 	}
 	entries := (size + EntryBytes - 1) / EntryBytes
 	return &Allocation{Name: name, Data: make([]byte, entries*EntryBytes)}
-}
-
-// CompressionRatio measures the snapshot's capacity compression ratio under
-// compressor c with the given size classes, mirroring the paper's Fig. 3
-// methodology: each entry is individually compressed and rounded up to a
-// class; the ratio is original bytes over the sum of class sizes. All-zero
-// entries take the 0 B class when it is available.
-func CompressionRatio(s *Snapshot, c compress.Compressor, classes []int) float64 {
-	var orig, comp int
-	zeroClass := len(classes) > 0 && classes[0] == 0
-	sz := compress.NewSizer(c)
-	for _, a := range s.Allocations {
-		n := a.Entries()
-		for i := 0; i < n; i++ {
-			e := a.Entry(i)
-			orig += EntryBytes
-			size := sz.Bytes(e)
-			if zeroClass && size <= 1 && isZero(e) {
-				comp += 0
-				continue
-			}
-			comp += compress.RoundToClass(size, classes)
-		}
-	}
-	if comp == 0 {
-		return float64(orig) // fully zero snapshot: bounded by entry size
-	}
-	return float64(orig) / float64(comp)
-}
-
-func isZero(e []byte) bool {
-	for _, b := range e {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// SectorHistogram counts, for allocation a under compressor c, how many
-// entries need 0..4 sectors. Index i of the result holds the count of
-// entries needing exactly i sectors; index 0 is the zero-page class
-// (<= 8 B compressed). This is the per-allocation histogram the profiler
-// uses (§3.4 "histogram of the static memory snapshots").
-func SectorHistogram(a *Allocation, c compress.Compressor) [5]int {
-	var h [5]int
-	n := a.Entries()
-	sz := compress.NewSizer(c)
-	for i := 0; i < n; i++ {
-		h[sz.Sectors(a.Entry(i))]++
-	}
-	return h
 }
 
 // Validate checks structural invariants and returns a descriptive error for

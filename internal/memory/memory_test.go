@@ -2,9 +2,6 @@ package memory
 
 import (
 	"testing"
-
-	"buddy/internal/compress"
-	"buddy/internal/gen"
 )
 
 func TestNewAllocationAlignment(t *testing.T) {
@@ -47,27 +44,5 @@ func TestFindAndTotals(t *testing.T) {
 	}
 	if s.TotalBytes() != 3072 || s.TotalEntries() != 24 {
 		t.Errorf("totals: %d bytes, %d entries", s.TotalBytes(), s.TotalEntries())
-	}
-}
-
-func TestCompressionRatioBounds(t *testing.T) {
-	bpc := compress.NewBPC()
-	zero := &Snapshot{Allocations: []*Allocation{NewAllocation("z", 8192)}}
-	if r := CompressionRatio(zero, bpc, compress.OptimisticSizes); r < 16 {
-		t.Errorf("all-zero snapshot ratio %.1f, want very high", r)
-	}
-	rnd := &Snapshot{Allocations: []*Allocation{NewAllocation("r", 8192)}}
-	gen.Random{}.Fill(rnd.Allocations[0].Data, gen.NewRNG(1, 1))
-	if r := CompressionRatio(rnd, bpc, compress.OptimisticSizes); r < 0.99 || r > 1.01 {
-		t.Errorf("random snapshot ratio %.3f, want 1.0", r)
-	}
-}
-
-func TestSectorHistogram(t *testing.T) {
-	a := NewAllocation("m", 128*4)
-	gen.Random{}.Fill(a.Data[:256], gen.NewRNG(2, 1)) // entries 0-1 raw, 2-3 zero
-	h := SectorHistogram(a, compress.NewBPC())
-	if h[4] != 2 || h[0] != 2 {
-		t.Errorf("histogram %v, want 2 raw + 2 zero-page", h)
 	}
 }

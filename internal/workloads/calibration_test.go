@@ -3,8 +3,8 @@ package workloads
 import (
 	"testing"
 
+	"buddy/internal/analysis"
 	"buddy/internal/compress"
-	"buddy/internal/memory"
 	"buddy/internal/stats"
 )
 
@@ -22,7 +22,7 @@ func fig3Ratio(tb testing.TB, b Benchmark) float64 {
 		if err := s.Validate(); err != nil {
 			tb.Fatalf("%s snapshot %d: %v", b.Name, t, err)
 		}
-		ratios = append(ratios, memory.CompressionRatio(s, bpc, compress.OptimisticSizes))
+		ratios = append(ratios, analysis.CompressionRatio(s, bpc, compress.OptimisticSizes))
 	}
 	return stats.Mean(ratios)
 }
@@ -62,8 +62,8 @@ func TestSeismicAsymptote(t *testing.T) {
 		t.Fatal(err)
 	}
 	bpc := compress.NewBPC()
-	first := memory.CompressionRatio(GenerateSnapshot(b, 0, testScale), bpc, compress.OptimisticSizes)
-	last := memory.CompressionRatio(GenerateSnapshot(b, Snapshots-1, testScale), bpc, compress.OptimisticSizes)
+	first := analysis.CompressionRatio(GenerateSnapshot(b, 0, testScale), bpc, compress.OptimisticSizes)
+	last := analysis.CompressionRatio(GenerateSnapshot(b, Snapshots-1, testScale), bpc, compress.OptimisticSizes)
 	if first < 2*last {
 		t.Errorf("seismic should start far more compressible: first=%.2f last=%.2f", first, last)
 	}
@@ -170,7 +170,7 @@ func TestHPGMGStriped(t *testing.T) {
 	if a == nil {
 		t.Fatal("missing level_structs")
 	}
-	h := memory.SectorHistogram(a, compress.NewBPC())
+	h := analysis.SectorHistogram(a, compress.NewBPC())
 	n := a.Entries()
 	incompressible := float64(h[4]) / float64(n)
 	compressible := float64(h[0]+h[1]) / float64(n)

@@ -3,6 +3,7 @@ package workloads
 import (
 	"math"
 
+	"buddy/internal/analysis"
 	"buddy/internal/compress"
 	"buddy/internal/memory"
 )
@@ -13,14 +14,15 @@ import (
 // the average compression ratio for that entire benchmark execution".
 // Given a run's snapshots, it returns the index of the snapshot whose
 // compression ratio is closest to the run's mean ratio, plus the ratios for
-// reporting.
-func CompressPoint(snaps []*memory.Snapshot, c compress.Compressor) (index int, ratios []float64) {
+// reporting. Each snapshot is indexed once (see internal/analysis) rather
+// than re-encoded per statistic.
+func CompressPoint(snaps []*memory.Snapshot, c compress.Codec) (index int, ratios []float64) {
 	if len(snaps) == 0 {
 		return 0, nil
 	}
 	var sum float64
 	for _, s := range snaps {
-		r := memory.CompressionRatio(s, c, compress.OptimisticSizes)
+		r := analysis.CompressionRatio(s, c, compress.OptimisticSizes)
 		ratios = append(ratios, r)
 		sum += r
 	}
@@ -38,7 +40,7 @@ func CompressPoint(snaps []*memory.Snapshot, c compress.Compressor) (index int, 
 // RepresentativeSnapshot generates benchmark b's run and returns its
 // CompressPoint snapshot — the dump the performance studies should build
 // their data models from.
-func RepresentativeSnapshot(b Benchmark, scale int, c compress.Compressor) *memory.Snapshot {
+func RepresentativeSnapshot(b Benchmark, scale int, c compress.Codec) *memory.Snapshot {
 	snaps := GenerateRun(b, scale)
 	idx, _ := CompressPoint(snaps, c)
 	return snaps[idx]

@@ -15,7 +15,7 @@ type Option func(*core.Config)
 //
 //	dev := buddy.New(
 //		buddy.WithDeviceBytes(1<<30),
-//		buddy.WithCompressor(buddy.NewBPC()),
+//		buddy.WithCodec(buddy.NewBPC()),
 //		buddy.WithCarveoutFactor(3),
 //	)
 func New(opts ...Option) *Device {
@@ -26,14 +26,19 @@ func New(opts ...Option) *Device {
 	return core.NewDevice(cfg)
 }
 
-// WithCompressor selects the memory compression algorithm (default BPC,
-// §2.4). See Compressors for the implemented baselines. The codec must be
-// safe for concurrent use: the bulk data path fans it out across a worker
-// pool even within a single ReadAt/WriteAt/Memcpy call (all built-in
-// algorithms are stateless and qualify).
-func WithCompressor(c Compressor) Option {
-	return func(cfg *core.Config) { cfg.Compressor = c }
+// WithCodec selects the memory compression algorithm (default BPC, §2.4).
+// See Codecs for the implemented baselines. The codec must be safe for
+// concurrent use: the bulk data path fans it out across a worker pool even
+// within a single ReadAt/WriteAt/Memcpy call (all built-in algorithms are
+// stateless and qualify).
+func WithCodec(c Codec) Option {
+	return func(cfg *core.Config) { cfg.Codec = c }
 }
+
+// WithCompressor selects the memory compression algorithm.
+//
+// Deprecated: use WithCodec.
+func WithCompressor(c Codec) Option { return WithCodec(c) }
 
 // WithDeviceBytes sets the GPU device-memory capacity available for
 // compressed allocations (default 12 GB).
