@@ -80,6 +80,34 @@ func Memcpy(dst, src *Allocation, n int64) (int64, error) {
 	return core.Memcpy(dst, src, n)
 }
 
+// ErrFreed is returned (wrapped) by every I/O operation on an allocation
+// released with Device.Free or Allocation.Close.
+var ErrFreed = core.ErrFreed
+
+// ErrOutOfMemory is returned (wrapped) when an allocation or a live
+// migration does not fit a storage tier's capacity.
+var ErrOutOfMemory = core.ErrOutOfMemory
+
+// ReprofilePlan is a checkpoint-time target-update plan (§3.4 extension):
+// which allocations should change ratio, what that buys, and what the
+// migration costs. Compute one with PlanReprofile and execute it on a live
+// device with Device.ApplyReprofile.
+type ReprofilePlan = core.ReprofilePlan
+
+// ReprofileDecision is one allocation's proposed target change.
+type ReprofileDecision = core.ReprofileDecision
+
+// MigrationStats reports what Device.ApplyReprofile actually did.
+type MigrationStats = core.MigrationStats
+
+// PlanReprofile computes a checkpoint-time target update from fresh
+// profiling snapshots: current maps allocation names to the targets in
+// force (missing names default to 1x). Gate on Device.ReprofileWorthwhile
+// (or ReprofilePlan.Worthwhile) before applying.
+func PlanReprofile(current map[string]TargetRatio, snaps []*Snapshot, c Codec, opt ProfileOptions) *ReprofilePlan {
+	return core.PlanReprofile(current, snaps, c, opt)
+}
+
 // Codec is the single-pass, allocation-free compression API: one
 // AppendCompressed encode yields both the framed stream and its exact bit
 // length, and DecompressInto decodes into caller memory.

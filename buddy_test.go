@@ -2,6 +2,7 @@ package buddy
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -89,8 +90,69 @@ func TestRunExperimentQuick(t *testing.T) {
 }
 
 func TestExperimentsListMatchesRunner(t *testing.T) {
-	if len(Experiments()) != 15 {
-		t.Errorf("want 15 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 16 {
+		t.Errorf("want 16 experiments, got %d", len(Experiments()))
+	}
+}
+
+func TestLifecycleFacade(t *testing.T) {
+	// The long-running-serving flow through the public surface: load under
+	// profiled targets, drift, plan, gate on the horizon, apply live, free.
+	bench, err := WorkloadByName("355.seismic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := GenerateRun(bench, 16384)
+	first, last := snaps[0], snaps[len(snaps)-1]
+	prof := Profile([]*Snapshot{first}, NewBPC(), FinalDesign())
+	targets := prof.Targets()
+
+	dev := New(
+		WithDeviceBytes(2*int64(first.TotalBytes())),
+		WithReprofileHorizon(1<<30),
+	)
+	allocs, err := LoadSnapshot(dev, first, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range allocs {
+		src := last.Find(a.Name)
+		if src == nil {
+			t.Fatalf("allocation %s missing from the late snapshot", a.Name)
+		}
+		if _, err := a.WriteAt(src.Data, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan := PlanReprofile(targets, []*Snapshot{last}, NewBPC(), FinalDesign())
+	if len(plan.Decisions) == 0 {
+		t.Fatal("drifting workload should produce reprofile decisions")
+	}
+	st, err := dev.ApplyReprofile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != len(plan.Decisions) {
+		t.Errorf("applied %d of %d decisions (%d skipped)", st.Applied, len(plan.Decisions), st.Skipped)
+	}
+	// Contents survive the live migration; Free returns every byte.
+	for _, a := range allocs {
+		got := make([]byte, a.Size())
+		if _, err := a.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, last.Find(a.Name).Data) {
+			t.Fatalf("%s: contents corrupted by ApplyReprofile", a.Name)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if du, bu := dev.DeviceUsed(), dev.BuddyUsed(); du != 0 || bu != 0 {
+		t.Errorf("free-all left device=%d buddy=%d reserved", du, bu)
+	}
+	if _, err := allocs[0].ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrFreed) {
+		t.Errorf("I/O after Close = %v, want ErrFreed", err)
 	}
 }
 

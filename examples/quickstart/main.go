@@ -26,7 +26,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("allocated %d bytes at target %s: device %d KiB, carve-out %d KiB\n",
-		alloc.Size(), alloc.Target, dev.DeviceUsed()>>10, dev.BuddyUsed()>>10)
+		alloc.Size(), alloc.Target(), dev.DeviceUsed()>>10, dev.BuddyUsed()>>10)
 
 	// Write three kinds of data: highly compressible, half-compressible,
 	// and incompressible. Only the last overflows to buddy memory. The

@@ -49,6 +49,7 @@ func init() {
 		{Name: "fig13b", Description: "DL training speedup vs batch size", Run: func(w io.Writer, _ ExperimentScale) error { return runFig13b(w) }},
 		{Name: "fig13c", Description: "feasible batch and speedup with Buddy Compression", Run: func(w io.Writer, _ ExperimentScale) error { return runFig13c(w) }},
 		{Name: "fig13d", Description: "training accuracy across batch sizes", Run: func(w io.Writer, _ ExperimentScale) error { return runFig13d(w) }},
+		{Name: "reprofile", Description: "live target-ratio migration on a drifting workload (§3.4 extension)", Run: runReprofile},
 	} {
 		RegisterExperiment(e)
 	}
@@ -244,6 +245,36 @@ func runFig13d(w io.Writer) error {
 		fmt.Fprintf(w, "batch %3d: final accuracy %.3f (jitter %.4f)\n", r.Batch, r.Final, r.Jitter)
 	}
 	return nil
+}
+
+func runReprofile(w io.Writer, sc ExperimentScale) error {
+	res, err := exp.Reprofile(sc.Workload)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	var migrated int64
+	var applied int
+	for _, s := range res.Steps {
+		action := "-"
+		if s.Applied {
+			action = fmt.Sprintf("migrate %d KiB", s.MigratedBytes>>10)
+			migrated += s.MigratedBytes
+			applied++
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s.Snapshot),
+			fmt.Sprintf("%5.1f%%", s.StaleBuddyFrac*100),
+			action,
+			fmt.Sprintf("%5.1f%%", s.BuddyFracAfter*100),
+			fmt.Sprintf("%.2fx", s.Ratio),
+		})
+	}
+	fmt.Fprint(w, exp.FormatTable(
+		[]string{"Snapshot", "Buddy(stale)", "Checkpoint action", "Buddy(after)", "Ratio"}, rows))
+	_, err = fmt.Fprintf(w, "%s: %d checkpoints reprofiled, %d KiB migrated (horizon %d accesses)\n",
+		res.Benchmark, applied, migrated>>10, res.Horizon)
+	return err
 }
 
 // SimConfig exposes the Tab. 2 performance-simulator configuration for

@@ -28,7 +28,8 @@ type Backend interface {
 	// Reserve claims n bytes at allocation time, failing with an error
 	// wrapping ErrOutOfMemory when the tier is full.
 	Reserve(n int64) error
-	// Release returns previously reserved bytes.
+	// Release returns previously reserved bytes. Releasing more than is
+	// currently reserved is a lifecycle accounting bug and panics.
 	Release(n int64)
 	// Store accounts a write of n bytes belonging to global entry index
 	// entry.
@@ -85,10 +86,12 @@ func (m *capacityMeter) Reserve(n int64) error {
 func (m *capacityMeter) Release(n int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.used -= n
-	if m.used < 0 {
-		m.used = 0
+	if n < 0 || n > m.used {
+		// A double free or mismatched Reserve/Release pair; clamping would
+		// silently corrupt the Used() accounting every lifecycle test pins.
+		panic(fmt.Sprintf("core: %s: Release(%d) with %d bytes reserved", m.name, n, m.used))
 	}
+	m.used -= n
 }
 
 // trafficMeter implements the lock-free access counters shared by every

@@ -67,6 +67,44 @@ func conformance(t *testing.T, name string, mk func(capacity int64) Backend) {
 		}
 	})
 
+	t.Run(name+"/lifecycle", func(t *testing.T) {
+		b := mk(1 << 10)
+		// Used returns to zero after releasing every live reservation, in
+		// any release order.
+		for _, n := range []int64{128, 256, 64} {
+			if err := b.Reserve(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.Release(256)
+		b.Release(64)
+		b.Release(128)
+		if u := b.Used(); u != 0 {
+			t.Fatalf("used = %d after free-all, want 0", u)
+		}
+		// Release after a free returns real capacity: a bounded tier must
+		// accept a full-capacity reservation again.
+		if b.Capacity() >= 0 {
+			if err := b.Reserve(b.Capacity()); err != nil {
+				t.Fatalf("full re-reserve after free-all failed: %v", err)
+			}
+			b.Release(b.Capacity())
+		}
+		// Over-release is a lifecycle accounting bug: it must panic
+		// deterministically and leave Used untouched.
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("over-release must panic")
+				}
+			}()
+			b.Release(1)
+		}()
+		if u := b.Used(); u != 0 {
+			t.Errorf("failed over-release changed used to %d", u)
+		}
+	})
+
 	t.Run(name+"/concurrent", func(t *testing.T) {
 		b := mk(1 << 30)
 		const workers, ops = 8, 500

@@ -204,7 +204,7 @@ func TestReadEntryDecodeErrorPropagates(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reach into the side table and truncate the stored stream.
-	g := a.firstEntry + 1
+	g := a.reg.firstEntry + 1
 	d.mu.Lock()
 	d.streams[g] = d.streams[g][:len(d.streams[g])/2]
 	d.mu.Unlock()

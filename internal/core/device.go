@@ -40,6 +40,11 @@ type Config struct {
 	MetadataCacheSlices int
 	// MetadataCacheWays is the associativity (§3.2: 4).
 	MetadataCacheWays int
+	// ReprofileHorizon is the access horizon the device uses when judging
+	// whether a checkpoint-time ReprofilePlan pays for itself (§3.4
+	// extension): the migration cost must be repaid by the buddy-access
+	// reduction within this many memory accesses.
+	ReprofileHorizon int64
 }
 
 // DefaultConfig returns the paper's final design parameters (§3.5) with a
@@ -53,6 +58,7 @@ func DefaultConfig() Config {
 		MetadataCacheBytes:  64 << 10,
 		MetadataCacheSlices: 8,
 		MetadataCacheWays:   4,
+		ReprofileHorizon:    1 << 30,
 	}
 }
 
@@ -67,6 +73,11 @@ type Traffic struct {
 	BuddyWriteBytes uint64
 	// MetadataFillBytes counts device reads caused by metadata cache misses.
 	MetadataFillBytes uint64
+	// MigrationBytes counts stored compressed bytes re-packed between
+	// layouts by ApplyReprofile/Retarget (the §3.4 migration cost; the
+	// device- and buddy-side transfers of each move are also folded into
+	// the byte counters above).
+	MigrationBytes uint64
 	// Reads and Writes count entry-level operations; BuddyAccesses counts
 	// operations that touched the overflow tier (the numerator of Fig. 7/9).
 	Reads         uint64
@@ -89,6 +100,7 @@ type trafficCounters struct {
 	deviceReadBytes, deviceWriteBytes atomic.Uint64
 	buddyReadBytes, buddyWriteBytes   atomic.Uint64
 	metadataFillBytes                 atomic.Uint64
+	migrationBytes                    atomic.Uint64
 	reads, writes, buddyAccesses      atomic.Uint64
 }
 
@@ -99,6 +111,7 @@ func (t *trafficCounters) snapshot() Traffic {
 		BuddyReadBytes:    t.buddyReadBytes.Load(),
 		BuddyWriteBytes:   t.buddyWriteBytes.Load(),
 		MetadataFillBytes: t.metadataFillBytes.Load(),
+		MigrationBytes:    t.migrationBytes.Load(),
 		Reads:             t.reads.Load(),
 		Writes:            t.writes.Load(),
 		BuddyAccesses:     t.buddyAccesses.Load(),
@@ -111,6 +124,7 @@ func (t *trafficCounters) reset() {
 	t.buddyReadBytes.Store(0)
 	t.buddyWriteBytes.Store(0)
 	t.metadataFillBytes.Store(0)
+	t.migrationBytes.Store(0)
 	t.reads.Store(0)
 	t.writes.Store(0)
 	t.buddyAccesses.Store(0)
@@ -134,12 +148,15 @@ const entryShards = 64
 // reader-writer lock, per-entry state by sharded mutexes, and traffic by
 // atomic counters. Individual entry operations are atomic; a multi-entry
 // ReadAt/WriteAt is not one atomic unit against concurrent writers to the
-// same range.
+// same range. Control-plane operations (Free, Retarget, ApplyReprofile)
+// serialize on migMu; lock order is migMu -> mu -> entry shards.
 type Device struct {
 	cfg      Config
 	primary  Backend
 	overflow Backend
 	mcache   *MetadataCache
+
+	migMu sync.Mutex // serializes Free/Retarget/ApplyReprofile
 
 	mu         sync.RWMutex // guards the allocation table below
 	allocs     []*Allocation
@@ -148,6 +165,7 @@ type Device struct {
 	totalEntry int
 	streams    [][]byte // side table of compressed streams, by global entry
 	meta       *MetadataStore
+	holes      []region // retired regions available for reuse
 
 	shards      [entryShards]sync.Mutex
 	gbbr        uint64 // global buddy base address (modeled)
@@ -188,6 +206,9 @@ func NewDevice(cfg Config) *Device {
 	if cfg.MetadataCacheWays == 0 {
 		cfg.MetadataCacheWays = def.MetadataCacheWays
 	}
+	if cfg.ReprofileHorizon == 0 {
+		cfg.ReprofileHorizon = def.ReprofileHorizon
+	}
 	overflow := cfg.Overflow
 	if overflow == nil {
 		overflow = NewCarveoutBackend(cfg.DeviceBytes*int64(cfg.CarveoutFactor), cfg.Link)
@@ -204,25 +225,46 @@ func NewDevice(cfg Config) *Device {
 	return d
 }
 
-// Allocation is one compressed cudaMalloc region on a device.
+// Allocation is one compressed cudaMalloc region on a device. It lives
+// until Free/Close retires it; a live migration (Retarget, ApplyReprofile)
+// may move it to a new layout while I/O continues.
 type Allocation struct {
 	dev *Device
 	// Name identifies the allocation.
 	Name string
-	// Target is the annotated target compression ratio.
-	Target TargetRatio
 	// EntryCount is the number of 128 B memory-entries.
 	EntryCount int
 
-	size        int64  // requested byte size (EntryCount*128 minus padding)
-	firstEntry  int    // global entry index of entry 0
-	deviceOff   int64  // offset of the compressed region in device memory
-	buddyOff    uint64 // offset of the buddy slots from the GBBR
-	sectorCount []int  // last committed compressed sector count per entry
+	size      int64 // requested byte size (EntryCount*128 minus padding)
+	shardBase int   // immutable, even: keys the entry shard locks forever
+
+	// Current committed layout. Read under dev.mu (any mode); written only
+	// under dev.mu held exclusively (Malloc, migration commit).
+	target TargetRatio
+	reg    region // entry slots + device/buddy placement of the layout
+	freed  bool   // set by Free; all later I/O fails with ErrFreed
+	mig    *migration
+
+	sectorCount []int // last committed compressed sector count per entry
 }
 
 // Size returns the allocation's requested byte size.
 func (a *Allocation) Size() int64 { return a.size }
+
+// Target returns the allocation's current target compression ratio. It can
+// change over the allocation's lifetime through Retarget/ApplyReprofile.
+func (a *Allocation) Target() TargetRatio {
+	a.dev.mu.RLock()
+	defer a.dev.mu.RUnlock()
+	return a.target
+}
+
+// Freed reports whether the allocation has been released with Free/Close.
+func (a *Allocation) Freed() bool {
+	a.dev.mu.RLock()
+	defer a.dev.mu.RUnlock()
+	return a.freed
+}
 
 // Tiers returns the device's primary (device-slab) and overflow storage
 // tiers for per-tier inspection.
@@ -264,7 +306,7 @@ func (d *Device) CompressionRatio() float64 {
 	var orig, dev int64
 	for _, a := range d.allocs {
 		orig += int64(a.EntryCount) * EntryBytes
-		dev += int64(a.EntryCount) * int64(a.Target.DeviceBytes())
+		dev += int64(a.EntryCount) * int64(a.target.DeviceBytes())
 	}
 	if dev == 0 {
 		return 1
@@ -274,7 +316,9 @@ func (d *Device) CompressionRatio() float64 {
 
 // Malloc reserves a compressed allocation of size bytes with the given
 // target ratio. The device reservation is size/target; the remainder of
-// each entry is reserved in the overflow tier (§3.2).
+// each entry is reserved in the overflow tier (§3.2). Regions retired by
+// Free are reused when a fitting hole exists, so a steady alloc/free cycle
+// does not grow the entry table.
 func (d *Device) Malloc(name string, size int64, target TargetRatio) (*Allocation, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("core: invalid allocation size %d", size)
@@ -291,22 +335,17 @@ func (d *Device) Malloc(name string, size int64, target TargetRatio) (*Allocatio
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	r := d.grabRegion(regionSlots(entries), devBytes, buddyBytes)
 	a := &Allocation{
 		dev:         d,
 		Name:        name,
-		Target:      target,
 		EntryCount:  entries,
 		size:        size,
-		firstEntry:  d.totalEntry,
-		deviceOff:   d.deviceOff,
-		buddyOff:    uint64(d.buddyOff),
+		shardBase:   r.firstEntry,
+		target:      target,
+		reg:         r,
 		sectorCount: make([]int, entries),
 	}
-	d.deviceOff += devBytes
-	d.buddyOff += buddyBytes
-	d.totalEntry += entries
-	d.streams = append(d.streams, make([][]byte, entries)...)
-	d.meta = growMetadata(d.meta, d.totalEntry)
 	d.allocs = append(d.allocs, a)
 	return a, nil
 }
@@ -318,20 +357,27 @@ func growMetadata(old *MetadataStore, n int) *MetadataStore {
 }
 
 // DeviceAddress returns the device byte address of entry i's first sector.
-// Fixed at allocation time: compressibility changes never move data (§3.3).
+// Fixed for a given layout: compressibility changes never move data (§3.3);
+// only an explicit Retarget/ApplyReprofile migration relocates the region.
 func (a *Allocation) DeviceAddress(i int) uint64 {
-	return uint64(a.deviceOff) + uint64(i)*uint64(a.Target.DeviceBytes())
+	a.dev.mu.RLock()
+	defer a.dev.mu.RUnlock()
+	return uint64(a.reg.deviceOff) + uint64(i)*uint64(a.target.DeviceBytes())
 }
 
 // BuddyAddress returns the buddy-memory address (GBBR + offset) of entry
-// i's overflow slot. Fixed at allocation time.
+// i's overflow slot. Fixed for a given layout, like DeviceAddress.
 func (a *Allocation) BuddyAddress(i int) uint64 {
-	return a.dev.gbbr + a.buddyOff + uint64(i)*uint64(a.Target.BuddySlotBytes())
+	a.dev.mu.RLock()
+	defer a.dev.mu.RUnlock()
+	return a.dev.gbbr + uint64(a.reg.buddyOff) + uint64(i)*uint64(a.target.BuddySlotBytes())
 }
 
 // PTEFor returns the extended page-table entry for the allocation's pages.
 func (a *Allocation) PTEFor() PTE {
-	return PTE{Compressed: true, Target: a.Target, BuddyPageOffset: uint32(a.buddyOff >> 16)}
+	a.dev.mu.RLock()
+	defer a.dev.mu.RUnlock()
+	return PTE{Compressed: true, Target: a.target, BuddyPageOffset: uint32(a.reg.buddyOff >> 16)}
 }
 
 func (a *Allocation) checkIndex(i int) error {
@@ -341,10 +387,32 @@ func (a *Allocation) checkIndex(i int) error {
 	return nil
 }
 
-func shardOf(globalEntry int) int {
-	// Two entries share a metadata byte; keep them in one shard so the
-	// byte's read-modify-write is serialized.
-	return (globalEntry / 2) % entryShards
+// shard returns the mutex striping entry i of the allocation. The key is
+// derived from the immutable shardBase — not the current layout — so the
+// same entry keeps the same lock across live migrations, which is what lets
+// migration hand an entry from the old layout to the new one atomically.
+// Regions start at even global indexes and span an even number of slots
+// (regionSlots), so the two entries sharing a metadata byte always live in
+// one allocation and, because shardBase is even, always hash to the same
+// shard: the byte's read-modify-write stays serialized.
+func (a *Allocation) shard(i int) *sync.Mutex {
+	return &a.dev.shards[(a.shardBase+i)/2%entryShards]
+}
+
+// entryHome resolves which layout currently owns entry i: during a live
+// migration, entries the migrator has already moved live in the new layout
+// while the rest remain in the old one. The caller must hold dev.mu (any
+// mode) and the entry's shard lock; the result is stable until both are
+// released.
+func (a *Allocation) entryHome(i int) (global int, t TargetRatio) {
+	if m := a.mig; m != nil && m.moved[i] {
+		return m.reg.firstEntry + i, m.target
+	}
+	return a.reg.firstEntry + i, a.target
+}
+
+func (a *Allocation) errFreed() error {
+	return fmt.Errorf("core: allocation %s: %w", a.Name, ErrFreed)
 }
 
 // streamScratchPool recycles codec scratch buffers across entry operations.
@@ -383,14 +451,21 @@ func (a *Allocation) writeEntry(i int, data []byte, scratch *[]byte) error {
 	stream, bits := d.cfg.Codec.AppendCompressed((*scratch)[:0], data)
 	*scratch = stream[:0]
 	sectors := compress.SectorsForBits(bits)
-	g := a.firstEntry + i
 
 	d.mu.RLock()
-	sh := &d.shards[shardOf(g)]
+	if a.freed {
+		d.mu.RUnlock()
+		return a.errFreed()
+	}
+	sh := a.shard(i)
 	sh.Lock()
-	// Copy into the entry's retained buffer (reused across rewrites) rather
-	// than retaining the scratch: readers snapshot under the same lock, so
-	// in-place reuse is safe and the steady state allocates nothing.
+	// The entry's home (old or new layout, during a live migration) is
+	// resolved under the shard lock, so the write lands in whichever layout
+	// owns the entry at commit time. Copy into the entry's retained buffer
+	// (reused across rewrites) rather than retaining the scratch: readers
+	// snapshot under the same lock, so in-place reuse is safe and the
+	// steady state allocates nothing.
+	g, t := a.entryHome(i)
 	d.streams[g] = append(d.streams[g][:0], stream...)
 	d.meta.Set(g, sectors)
 	a.sectorCount[i] = sectors
@@ -399,7 +474,7 @@ func (a *Allocation) writeEntry(i int, data []byte, scratch *[]byte) error {
 	d.mu.RUnlock()
 
 	d.traffic.writes.Add(1)
-	dev, buddy := a.splitBytes(sectors)
+	dev, buddy := splitBytes(t, sectors)
 	d.traffic.deviceWriteBytes.Add(uint64(dev))
 	d.primary.Store(g, dev)
 	if buddy > 0 {
@@ -430,20 +505,24 @@ func (a *Allocation) readEntry(i int, dst []byte, scratch *[]byte) error {
 		return fmt.Errorf("core: dst must be %d bytes, got %d", EntryBytes, len(dst))
 	}
 	d := a.dev
-	g := a.firstEntry + i
 
 	d.mu.RLock()
-	d.accessMetadata(g)
-	sh := &d.shards[shardOf(g)]
+	if a.freed {
+		d.mu.RUnlock()
+		return a.errFreed()
+	}
+	sh := a.shard(i)
 	sh.Lock()
+	g, t := a.entryHome(i)
 	sectors := d.meta.Get(g)
 	written := d.streams[g] != nil
 	*scratch = append((*scratch)[:0], d.streams[g]...)
 	sh.Unlock()
+	d.accessMetadata(g)
 	d.mu.RUnlock()
 
 	d.traffic.reads.Add(1)
-	dev, buddy := a.splitBytes(sectors)
+	dev, buddy := splitBytes(t, sectors)
 	d.traffic.deviceReadBytes.Add(uint64(dev))
 	d.primary.Load(g, dev)
 	if buddy > 0 {
@@ -464,10 +543,8 @@ func (a *Allocation) readEntry(i int, dst []byte, scratch *[]byte) error {
 }
 
 // splitBytes returns the device and overflow byte traffic for one access to
-// an entry of the given compressed sector count under the allocation's
-// target.
-func (a *Allocation) splitBytes(sectors int) (dev, buddy int) {
-	t := a.Target
+// an entry of the given compressed sector count under target t.
+func splitBytes(t TargetRatio, sectors int) (dev, buddy int) {
 	if t == Target16x {
 		if sectors == 0 {
 			return 8, 0
@@ -519,9 +596,7 @@ func (a *Allocation) SectorCount(i int) int {
 	if err := a.checkIndex(i); err != nil {
 		panic(err)
 	}
-	d := a.dev
-	g := a.firstEntry + i
-	sh := &d.shards[shardOf(g)]
+	sh := a.shard(i)
 	sh.Lock()
 	defer sh.Unlock()
 	return a.sectorCount[i]

@@ -97,15 +97,13 @@ func PlanReprofileIndexes(current map[string]TargetRatio, idx []*analysis.Index,
 			continue
 		}
 		// Migration: every entry's stored sectors are rewritten into the
-		// new layout; stored size comes from the profiled histogram.
+		// new layout; stored size comes from the profiled histogram, in the
+		// same storedBytes unit the live migration counts, so this estimate
+		// and MigrationStats.MigratedBytes compare 1:1.
 		var stored float64
 		var obs float64
 		for s, n := range p.Hist {
-			bytes := float64(s * 32)
-			if s == 0 {
-				bytes = 8
-			}
-			stored += bytes * float64(n)
+			stored += float64(storedBytes(s)) * float64(n)
 			obs += float64(n)
 		}
 		perEntry := 128.0

@@ -1,0 +1,65 @@
+package exp
+
+import "testing"
+
+func TestReprofileDriftStory(t *testing.T) {
+	res, err := Reprofile(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != ReprofileBenchmark {
+		t.Fatalf("benchmark = %s, want %s", res.Benchmark, ReprofileBenchmark)
+	}
+	if len(res.Steps) != 9 {
+		t.Fatalf("steps = %d, want one per post-profile snapshot (9)", len(res.Steps))
+	}
+	applied := 0
+	for _, s := range res.Steps {
+		if s.Ratio <= 1 {
+			t.Errorf("snapshot %d: device ratio %.2f, want > 1", s.Snapshot, s.Ratio)
+		}
+		if !s.Applied {
+			// An idle checkpoint must not perturb the measurement.
+			if s.BuddyFracAfter != s.StaleBuddyFrac {
+				t.Errorf("snapshot %d: idle checkpoint changed buddy frac %.4f -> %.4f",
+					s.Snapshot, s.StaleBuddyFrac, s.BuddyFracAfter)
+			}
+			if s.MigratedBytes != 0 {
+				t.Errorf("snapshot %d: idle checkpoint migrated %d bytes", s.Snapshot, s.MigratedBytes)
+			}
+			continue
+		}
+		applied++
+		if s.MigratedBytes <= 0 {
+			t.Errorf("snapshot %d: applied checkpoint migrated nothing", s.Snapshot)
+		}
+		// Plan estimate and live migration count the same stored bytes.
+		diff := float64(s.MigratedBytes - s.PlannedBytes)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.01*float64(s.PlannedBytes) {
+			t.Errorf("snapshot %d: migrated %d bytes vs plan %d", s.Snapshot, s.MigratedBytes, s.PlannedBytes)
+		}
+		// The point of the checkpoint: stale targets were overflowing, the
+		// fresh ones are not.
+		if s.BuddyFracAfter >= s.StaleBuddyFrac {
+			t.Errorf("snapshot %d: reprofile did not reduce buddy accesses (%.3f -> %.3f)",
+				s.Snapshot, s.StaleBuddyFrac, s.BuddyFracAfter)
+		}
+	}
+	if applied == 0 {
+		t.Error("355.seismic's fill-in should trigger at least one reprofile")
+	}
+	// The drift story: buddy accesses climb under stale targets until a
+	// checkpoint acts, so the worst stale fraction must exceed the best
+	// post-reprofile fraction by a wide margin.
+	var worstStale, bestAfter float64 = 0, 1
+	for _, s := range res.Steps {
+		worstStale = max(worstStale, s.StaleBuddyFrac)
+		bestAfter = min(bestAfter, s.BuddyFracAfter)
+	}
+	if worstStale < 4*bestAfter {
+		t.Errorf("drift too mild: worst stale frac %.3f vs best after %.3f", worstStale, bestAfter)
+	}
+}

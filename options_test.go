@@ -130,8 +130,8 @@ func TestAllocationIsReaderWriterAt(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	reg := ExperimentRegistry()
-	if len(reg) != 15 {
-		t.Fatalf("registered experiments = %d, want 15", len(reg))
+	if len(reg) != 16 {
+		t.Fatalf("registered experiments = %d, want 16", len(reg))
 	}
 	for _, e := range reg {
 		if e.Description == "" {
