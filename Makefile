@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json fuzz cover
+.PHONY: all build vet lint test race bench bench-json fuzz cover examples
 
 all: lint build test
 
@@ -29,6 +29,19 @@ lint: vet
 test:
 	$(GO) test ./...
 
+# Smoke-run every example binary at reduced scale (the sources are already
+# sized for seconds; serve additionally takes explicit small flags). CI
+# runs this so the examples stay executable, not merely compilable.
+examples:
+	@set -e; for d in examples/*/ ; do \
+	  name=$$(basename $$d); \
+	  args=""; \
+	  case $$name in serve) args="-shards 2 -clients 4 -kb 64";; esac; \
+	  echo "examples: run $$name $$args"; \
+	  $(GO) run ./examples/$$name $$args >/dev/null; \
+	done
+	@echo 'examples: ok'
+
 race:
 	$(GO) test -race ./...
 
@@ -47,12 +60,13 @@ cover:
 	  awk -v t=$$total -v m=$(COVER_CORE_MIN) 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }' \
 	    || { echo "cover: internal/core coverage $$total% fell below the $(COVER_CORE_MIN)% floor"; exit 1; }
 
-# Data-path and analysis-pipeline benchmarks, human-readable. Pass CPU=1,4
-# to see the GOMAXPROCS scaling of the parallel bulk and index-build paths.
+# Data-path, analysis-pipeline and serving-layer benchmarks (incl.
+# BenchmarkPoolServe), human-readable. Pass CPU=1,4 to see the GOMAXPROCS
+# scaling of the parallel bulk and index-build paths.
 CPU ?=
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem $(if $(CPU),-cpu $(CPU)) \
-		./internal/compress/ ./internal/core/ ./internal/analysis/ ./internal/exp/
+		./internal/compress/ ./internal/core/ ./internal/analysis/ ./internal/exp/ ./internal/pool/
 
 # Same benchmarks as one-shot JSON, the artifact CI uploads per PR: codec
 # and bulk-I/O data path plus the analysis pipeline (BenchmarkAnalysisIndex,
@@ -60,7 +74,7 @@ bench:
 # heavy for PR CI.
 bench-json:
 	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime=1x -count=1 \
-		./internal/compress/ ./internal/core/ ./internal/analysis/ ./internal/exp/ > BENCH_pr.json
+		./internal/compress/ ./internal/core/ ./internal/analysis/ ./internal/exp/ ./internal/pool/ > BENCH_pr.json
 
 # Short fuzz pass over all six codecs.
 fuzz:

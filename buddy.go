@@ -13,6 +13,10 @@
 //   - pluggable storage tiers behind the Backend interface: the paper's
 //     NVLink buddy carve-out, plus a host unified-memory fallback
 //     (WithHostFallback) and room for peer-GPU or disaggregated tiers,
+//   - a sharded multi-device pool for fleet-scale serving: placement with
+//     spill-over across N devices, per-shard bounded async submission
+//     queues and aggregated telemetry (NewPool, Pool.SubmitWrite,
+//     Pool.Stats),
 //   - the profiling pass that chooses per-allocation target compression
 //     ratios under a Buddy Threshold (Profile),
 //   - the hardware compression algorithms the paper evaluates (NewBPC and
@@ -30,6 +34,7 @@ import (
 	"buddy/internal/compress"
 	"buddy/internal/core"
 	"buddy/internal/memory"
+	"buddy/internal/pool"
 	"buddy/internal/workloads"
 )
 
@@ -78,6 +83,57 @@ const (
 // cudaMemcpy(dst, src, n). The allocations may live on different devices.
 func Memcpy(dst, src *Allocation, n int64) (int64, error) {
 	return core.Memcpy(dst, src, n)
+}
+
+// Pool is a shard router over N independent Devices behind one front door:
+// placement, spill-over, async batched serving and aggregate stats for a
+// fleet of buddy-compressed GPUs. Build one with NewPool. It is safe for
+// concurrent use by multiple goroutines.
+type Pool = pool.Pool
+
+// Handle is an allocation placed on one of a Pool's shards; it routes
+// ReadAt/WriteAt/Close to the owning device and satisfies io.ReaderAt,
+// io.WriterAt and io.Closer.
+type Handle = pool.Handle
+
+// Future is the pending result of a Pool.SubmitRead/SubmitWrite.
+type Future = pool.Future
+
+// PoolStats is the pool-wide aggregate of per-shard telemetry: summed
+// Traffic, fleet capacity and the access-weighted metadata-cache hit rate.
+type PoolStats = pool.Stats
+
+// ShardStats is one shard's slice of PoolStats, including the overflow
+// link's accumulated busy cycles per direction.
+type ShardStats = pool.ShardStats
+
+// ShardLoad is the per-shard occupancy view a Placement policy picks from.
+type ShardLoad = pool.ShardLoad
+
+// Placement chooses the shard a Pool first offers each allocation to; the
+// pool spills through the remaining shards in index order when the choice
+// is out of memory.
+type Placement = pool.Placement
+
+// PlaceLeastUsed is the default placement: the shard with the fewest
+// device bytes in use, ties broken toward the lowest shard index.
+func PlaceLeastUsed() Placement { return pool.LeastUsed() }
+
+// PlaceRoundRobin rotates allocations across shards in submission order.
+func PlaceRoundRobin() Placement { return pool.RoundRobin() }
+
+// PlaceShard pins placement to one explicit shard (spill-over still
+// applies when it is full).
+func PlaceShard(shard int) Placement { return pool.Explicit(shard) }
+
+// ErrPoolClosed is returned (wrapped) by operations on a closed Pool.
+var ErrPoolClosed = pool.ErrClosed
+
+// MemcpyHandles copies n bytes from the start of src to the start of dst
+// through both compression pipelines; the handles may live on different
+// shards — the pool equivalent of a peer-to-peer cudaMemcpy.
+func MemcpyHandles(dst, src *Handle, n int64) (int64, error) {
+	return pool.Memcpy(dst, src, n)
 }
 
 // ErrFreed is returned (wrapped) by every I/O operation on an allocation

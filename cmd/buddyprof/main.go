@@ -22,7 +22,8 @@ func main() {
 	noZeroPage := flag.Bool("no-zeropage", false, "disable the 16x mostly-zero optimization")
 	scale := flag.Int("scale", 1024, "footprint divisor for synthesis")
 	codec := flag.String("codec", "bpc", "compression algorithm (bpc, bdi, fpc, fvc, cpack, zero)")
-	fig := flag.String("fig", "", "render a whole-suite profiling experiment from the registry (fig7, fig8, fig9) instead of one benchmark")
+	fig := flag.String("fig", "", "render a whole-suite profiling experiment from the registry (fig7, fig8, fig9, serve) instead of one benchmark")
+	shards := flag.Int("shards", 0, "pool width when -fig serve re-profiles a sharded fleet (0 = default 4)")
 	flag.Parse()
 
 	c, err := buddy.CodecByName(*codec)
@@ -44,6 +45,9 @@ func main() {
 				sc.Workload = *scale
 			}
 		})
+		if *shards > 0 {
+			sc.Shards = *shards
+		}
 		if err := buddy.RunExperiment(os.Stdout, *fig, sc); err != nil {
 			fmt.Fprintln(os.Stderr, "buddyprof:", err)
 			os.Exit(1)
@@ -58,7 +62,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "or -fig for the registry's whole-suite profiling experiments:")
 		for _, e := range buddy.ExperimentRegistry() {
 			switch e.Name {
-			case "fig7", "fig8", "fig9":
+			case "fig7", "fig8", "fig9", "serve":
 				fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.Name, e.Description)
 			}
 		}

@@ -22,6 +22,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run at smoke fidelity (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list registered experiments")
 	scale := flag.Int("scale", 0, "override workload footprint divisor")
+	shards := flag.Int("shards", 0, "pool width for the serve experiment (0 = default 4)")
 	flag.Parse()
 
 	if *list || *expName == "" {
@@ -40,6 +41,9 @@ func main() {
 	}
 	if *scale > 0 {
 		sc.Workload = *scale
+	}
+	if *shards > 0 {
+		sc.Shards = *shards
 	}
 	if err := buddy.RunExperiment(os.Stdout, *expName, sc); err != nil {
 		fmt.Fprintln(os.Stderr, "buddysim:", err)

@@ -18,6 +18,9 @@ type ExperimentScale struct {
 	// Sim scales the performance simulator's trace length (1.0 = the full
 	// Tab. 2 run length).
 	Sim float64
+	// Shards is the pool width for the sharded-serving experiment
+	// (0 = the default 4); the cmds' -shards flag lands here.
+	Shards int
 }
 
 // DefaultScale runs at the repository's reference fidelity.
@@ -50,6 +53,7 @@ func init() {
 		{Name: "fig13c", Description: "feasible batch and speedup with Buddy Compression", Run: func(w io.Writer, _ ExperimentScale) error { return runFig13c(w) }},
 		{Name: "fig13d", Description: "training accuracy across batch sizes", Run: func(w io.Writer, _ ExperimentScale) error { return runFig13d(w) }},
 		{Name: "reprofile", Description: "live target-ratio migration on a drifting workload (§3.4 extension)", Run: runReprofile},
+		{Name: "serve", Description: "sharded multi-device serving: aggregate throughput, 1 vs N shards", Run: runServe},
 	} {
 		RegisterExperiment(e)
 	}
@@ -274,6 +278,32 @@ func runReprofile(w io.Writer, sc ExperimentScale) error {
 		[]string{"Snapshot", "Buddy(stale)", "Checkpoint action", "Buddy(after)", "Ratio"}, rows))
 	_, err = fmt.Fprintf(w, "%s: %d checkpoints reprofiled, %d KiB migrated (horizon %d accesses)\n",
 		res.Benchmark, applied, migrated>>10, res.Horizon)
+	return err
+}
+
+func runServe(w io.Writer, sc ExperimentScale) error {
+	res, err := exp.Serve(sc.Workload, sc.Shards)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, p := range res.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Shards),
+			fmt.Sprintf("%.2f", p.ThroughputGBs),
+			fmt.Sprintf("%.3e", p.ServiceCycles),
+			fmt.Sprintf("%.3f", p.MetadataHitRate),
+			fmt.Sprintf("%.2fs", p.WallSeconds),
+		})
+	}
+	fmt.Fprint(w, exp.FormatTable(
+		[]string{"Shards", "Modeled GB/s", "Service cycles", "Meta hit", "Wall"}, rows))
+	_, err = fmt.Fprintf(w,
+		"%d clients (%d DL + %d HPC working sets), %.1f MiB served per configuration\n"+
+			"aggregate serving throughput %d shards vs 1: %.2fx (equal total capacity)\n",
+		res.Clients, len(res.Benchmarks)/2, len(res.Benchmarks)/2,
+		float64(res.PayloadBytes)/(1<<20),
+		res.Points[len(res.Points)-1].Shards, res.Speedup)
 	return err
 }
 

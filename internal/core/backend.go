@@ -179,15 +179,11 @@ func (b *CarveoutBackend) Load(entry int, n int) {
 
 // LinkOccupancy returns the modeled busy core-cycles per link direction:
 // how long the interconnect has been transferring in each direction since
-// the last reset. Transfers are issued back to back, so occupancy is the
-// link's busy horizon.
+// the last reset. Idle gaps between transfers are not occupancy.
 func (b *CarveoutBackend) LinkOccupancy() (readCycles, writeCycles float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	// Utilization(dir, h) = min(busyUntil/h, 1); probe with a huge horizon
-	// to recover busyUntil without exporting it.
-	const h = 1e18
-	return b.link.Utilization(nvlink.Read, h) * h, b.link.Utilization(nvlink.Write, h) * h
+	return b.link.BusyCycles(nvlink.Read), b.link.BusyCycles(nvlink.Write)
 }
 
 // ResetTraffic clears counters and the link queues.

@@ -579,6 +579,14 @@ func (d *Device) accessMetadata(globalEntry int) {
 // Fig. 5b sweep to re-run with different cache sizes).
 func (d *Device) SetMetadataCacheEnabled(on bool) { d.metaEnabled.Store(on) }
 
+// AllocationCount returns the number of live allocations — the cheap form
+// of len(Allocations()) for occupancy views that do not need the list.
+func (d *Device) AllocationCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.allocs)
+}
+
 // Allocations returns a copy of the live allocation list in allocation
 // order; mutating the returned slice does not affect the device.
 func (d *Device) Allocations() []*Allocation {

@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"buddy/internal/analysis"
+	"buddy/internal/compress"
+	"buddy/internal/core"
+	"buddy/internal/dram"
+	"buddy/internal/pool"
+	"buddy/internal/workloads"
+)
+
+// ---------------------------------------------------------------------------
+// Serve: sharded multi-device serving under concurrent client traffic
+// ---------------------------------------------------------------------------
+//
+// The paper evaluates one GPU with one buddy-memory link; the serving
+// experiment asks what a fleet front door buys. A mixed DL+HPC client
+// population streams profiled snapshots through a pool — every client
+// writes its working set and then reads it back through the asynchronous
+// submission queues — once against a single shard holding the whole fleet
+// capacity and once against N shards splitting the same capacity. The
+// figure of merit is modeled aggregate serving throughput: total payload
+// bytes over the fleet's modeled service time. Per shard, service time is
+// the device-memory transfer time (Tab. 2 HBM2 aggregate bandwidth)
+// plus the overflow link's accumulated busy cycles (full duplex, so the
+// busier direction bounds it); shards serve in parallel, so the pool's
+// time is the slowest shard's. The link term uses the carve-out's
+// accumulated busy-cycle telemetry — idle gaps excluded — which is what
+// the interconnect-accounting fix makes trustworthy.
+
+// ServeClients is the concurrent client population of the experiment.
+const ServeClients = 8
+
+// serveBenchmarks is the mixed DL+HPC population the clients cycle
+// through: four DL and four HPC working sets of distinct compressibility.
+var serveBenchmarks = []string{
+	"VGG16", "351.palm", "ResNet50", "360.ilbdc",
+	"BigLSTM", "355.seismic", "Inception_V2", "352.ep",
+}
+
+// ServePoint is one pool configuration's measurement.
+type ServePoint struct {
+	// Shards is the pool width; total device capacity is the same at
+	// every width (per-shard capacity divides by Shards).
+	Shards int
+	// ServiceCycles is the modeled fleet service time in core cycles: the
+	// maximum over shards of device-transfer plus link-busy cycles.
+	ServiceCycles float64
+	// ThroughputGBs is PayloadBytes over ServiceCycles at the Tab. 2 core
+	// clock — the modeled aggregate serving throughput.
+	ThroughputGBs float64
+	// WallSeconds is the host-side wall time of the run (informational:
+	// it measures this machine's codec throughput, not the modeled GPUs).
+	WallSeconds float64
+	// MetadataHitRate is the access-weighted fleet metadata-cache hit
+	// rate.
+	MetadataHitRate float64
+	// ShardServiceCycles holds each shard's individual service time.
+	ShardServiceCycles []float64
+}
+
+// ServeResult is the serve experiment's outcome.
+type ServeResult struct {
+	// Clients and Benchmarks describe the client population.
+	Clients    int
+	Benchmarks []string
+	// PayloadBytes is the total bytes each configuration served (writes
+	// plus read-backs, identical across configurations).
+	PayloadBytes int64
+	// Points holds the single-shard baseline first, then the sharded
+	// configuration(s).
+	Points []ServePoint
+	// Speedup is the last point's modeled throughput over the first's —
+	// the aggregate gain of sharding at equal total capacity.
+	Speedup float64
+}
+
+// serveClient is one client's working set: its profiled allocations and
+// the data to stream through them.
+type serveClient struct {
+	names   []string
+	data    [][]byte
+	targets map[string]core.TargetRatio
+}
+
+// buildServeClients synthesizes and profiles each client's snapshot once;
+// the same working sets drive every pool configuration.
+func buildServeClients(clients, scale int, codec compress.Codec) ([]serveClient, int64, error) {
+	out := make([]serveClient, clients)
+	var raw int64
+	for c := 0; c < clients; c++ {
+		b, err := workloads.ByName(serveBenchmarks[c%len(serveBenchmarks)])
+		if err != nil {
+			return nil, 0, err
+		}
+		snap := workloads.GenerateSnapshot(b, 0, scale)
+		prof := core.ProfileIndexes([]*analysis.Index{snapshotIndex(b, 0, scale, codec)}, core.FinalDesign())
+		targets := prof.Targets()
+		cl := serveClient{targets: make(map[string]core.TargetRatio)}
+		for _, ma := range snap.Allocations {
+			name := fmt.Sprintf("c%d/%s", c, ma.Name)
+			cl.names = append(cl.names, name)
+			cl.data = append(cl.data, ma.Data)
+			t, ok := targets[ma.Name]
+			if !ok {
+				t = core.Target1x
+			}
+			cl.targets[name] = t
+			raw += int64(len(ma.Data))
+		}
+		out[c] = cl
+	}
+	return out, raw, nil
+}
+
+// servePool runs the full client population against one pool: each client
+// concurrently allocates its regions, streams every region in through the
+// async submission queues, then reads the whole working set back. It
+// returns the payload bytes moved.
+func servePool(p *pool.Pool, clients []serveClient) (int64, error) {
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstE  error
+		payload int64
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstE == nil {
+			firstE = err
+		}
+		mu.Unlock()
+	}
+	for c := range clients {
+		wg.Add(1)
+		go func(cl *serveClient) {
+			defer wg.Done()
+			handles := make([]*pool.Handle, len(cl.names))
+			var futs []*pool.Future
+			for i, name := range cl.names {
+				h, err := p.Malloc(name, int64(len(cl.data[i])), cl.targets[name])
+				if err != nil {
+					fail(err)
+					return
+				}
+				handles[i] = h
+				futs = append(futs, p.SubmitWrite(h, cl.data[i], 0))
+			}
+			var moved int64
+			for i, f := range futs {
+				n, err := f.Wait()
+				if err != nil {
+					fail(fmt.Errorf("write %s: %w", cl.names[i], err))
+					return
+				}
+				moved += int64(n)
+			}
+			// Read the working set back through the queues.
+			futs = futs[:0]
+			bufs := make([][]byte, len(handles))
+			for i, h := range handles {
+				bufs[i] = make([]byte, h.Size())
+				futs = append(futs, p.SubmitRead(h, bufs[i], 0))
+			}
+			for i, f := range futs {
+				n, err := f.Wait()
+				if err != nil {
+					fail(fmt.Errorf("read %s: %w", cl.names[i], err))
+					return
+				}
+				moved += int64(n)
+			}
+			mu.Lock()
+			payload += moved
+			mu.Unlock()
+		}(&clients[c])
+	}
+	wg.Wait()
+	return payload, firstE
+}
+
+// serviceCycles models one shard's serving time from its telemetry:
+// device-memory bytes at the Tab. 2 aggregate HBM2 bandwidth plus the
+// overflow link's busier direction (full duplex). Link busy cycles come
+// from the accumulated-occupancy counters, so idle gaps between requests
+// do not inflate the estimate.
+func serviceCycles(s pool.ShardStats) float64 {
+	hbm := dram.DefaultConfig()
+	devBytesPerCycle := hbm.BandwidthGBs / hbm.CoreClockGHz
+	dev := float64(s.Traffic.DeviceReadBytes+s.Traffic.DeviceWriteBytes) / devBytesPerCycle
+	link := max(s.LinkReadBusyCycles, s.LinkWriteBusyCycles)
+	return dev + link
+}
+
+// Serve runs the sharded-serving experiment: ServeClients concurrent
+// clients streaming mixed DL+HPC working sets, once against 1 shard and
+// once against shards shards, at equal total device capacity. shards <= 0
+// selects the default 4; an explicit 1 runs the baseline alone.
+func Serve(scale, shards int) (*ServeResult, error) {
+	if shards <= 0 {
+		shards = 4
+	}
+	codec := compress.NewBPC()
+	clients, raw, err := buildServeClients(ServeClients, scale, codec)
+	if err != nil {
+		return nil, err
+	}
+	// Equal total capacity at every width. 2x the raw footprint leaves
+	// headroom for placement imbalance across shards; what matters for
+	// the comparison is that both configurations hold the same fleet.
+	totalDevice := 2 * raw
+
+	res := &ServeResult{
+		Clients:    ServeClients,
+		Benchmarks: serveBenchmarks,
+	}
+	widths := []int{1, shards}
+	if shards == 1 {
+		widths = widths[:1]
+	}
+	for _, width := range widths {
+		devices := make([]*core.Device, width)
+		for i := range devices {
+			devices[i] = core.NewDevice(core.Config{
+				Codec:       codec,
+				DeviceBytes: totalDevice / int64(width),
+			})
+		}
+		p, err := pool.New(devices, pool.Config{})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		payload, err := servePool(p, clients)
+		wall := time.Since(start)
+		if cerr := p.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("exp: serve %d shards: %w", width, err)
+		}
+		st := p.Stats()
+		pt := ServePoint{
+			Shards:          width,
+			WallSeconds:     wall.Seconds(),
+			MetadataHitRate: st.MetadataCacheHitRate,
+		}
+		for _, s := range st.Shards {
+			c := serviceCycles(s)
+			pt.ShardServiceCycles = append(pt.ShardServiceCycles, c)
+			if c > pt.ServiceCycles {
+				pt.ServiceCycles = c
+			}
+		}
+		clockHz := dram.DefaultConfig().CoreClockGHz * 1e9
+		if pt.ServiceCycles > 0 {
+			pt.ThroughputGBs = float64(payload) / (pt.ServiceCycles / clockHz) / 1e9
+		}
+		res.PayloadBytes = payload
+		res.Points = append(res.Points, pt)
+	}
+	if first := res.Points[0].ThroughputGBs; first > 0 {
+		res.Speedup = res.Points[len(res.Points)-1].ThroughputGBs / first
+	}
+	return res, nil
+}

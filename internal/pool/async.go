@@ -1,0 +1,97 @@
+package pool
+
+import "fmt"
+
+// Async batched serving: many clients issue I/O against the pool without
+// serializing on any one device's shard locks. Each shard owns a bounded
+// submission queue drained by its own workers; Submit routes an operation
+// to the owning shard's queue and returns a Future immediately. Operations
+// run through the allocation's byte-addressed bulk path, so entry-aligned
+// spans batch through the device's parallel WriteEntries/ReadEntries
+// primitives underneath.
+
+// opKind selects an async operation.
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+)
+
+// Future is the pending result of a submitted operation.
+type Future struct {
+	done chan struct{}
+	n    int
+	err  error
+}
+
+func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+// Done returns a channel closed when the operation has completed.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the operation completes and returns its byte count and
+// error — the same values the synchronous ReadAt/WriteAt would return.
+func (f *Future) Wait() (int, error) {
+	<-f.done
+	return f.n, f.err
+}
+
+func (f *Future) complete(n int, err error) {
+	f.n, f.err = n, err
+	close(f.done)
+}
+
+// task is one queued operation.
+type task struct {
+	kind opKind
+	h    *Handle
+	buf  []byte
+	off  int64
+	fut  *Future
+}
+
+func (p *Pool) worker(q chan *task) {
+	defer p.wg.Done()
+	for t := range q {
+		switch t.kind {
+		case opWrite:
+			n, err := t.h.a.WriteAt(t.buf, t.off)
+			t.fut.complete(n, err)
+		case opRead:
+			n, err := t.h.a.ReadAt(t.buf, t.off)
+			t.fut.complete(n, err)
+		}
+	}
+}
+
+// submit enqueues a task on the handle's shard, blocking while that
+// shard's queue is full. A closed pool fails the future immediately.
+func (p *Pool) submit(t *task) *Future {
+	// The read lock is held across the send so Close cannot close the
+	// queue between the closed check and the enqueue; workers drain
+	// without taking the lock, so a blocked send always makes progress.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		t.fut.complete(0, fmt.Errorf("pool: submit on shard %d: %w", t.h.shard, ErrClosed))
+		return t.fut
+	}
+	p.queues[t.h.shard] <- t
+	return t.fut
+}
+
+// SubmitWrite asynchronously writes data at byte offset off of the
+// handle's allocation. The caller must not mutate data until the future
+// completes. Backpressure: SubmitWrite blocks while the owning shard's
+// queue is at its configured depth.
+func (p *Pool) SubmitWrite(h *Handle, data []byte, off int64) *Future {
+	return p.submit(&task{kind: opWrite, h: h, buf: data, off: off, fut: newFuture()})
+}
+
+// SubmitRead asynchronously reads into dst from byte offset off of the
+// handle's allocation. The caller must not touch dst until the future
+// completes.
+func (p *Pool) SubmitRead(h *Handle, dst []byte, off int64) *Future {
+	return p.submit(&task{kind: opRead, h: h, buf: dst, off: off, fut: newFuture()})
+}

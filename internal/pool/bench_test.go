@@ -1,0 +1,81 @@
+package pool
+
+import (
+	"fmt"
+	"testing"
+
+	"buddy/internal/core"
+	"buddy/internal/gen"
+)
+
+// BenchmarkPoolServe measures host-side serving throughput through the
+// async submission queues: 8 concurrent clients, each streaming a 256 KiB
+// working set (write + read-back) into a 4-shard pool. b.SetBytes reports
+// MB/s of payload moved; this is the codec-bound wall throughput of this
+// machine, the serving-layer counterpart of the bulk-I/O benchmarks in
+// internal/core.
+func BenchmarkPoolServe(b *testing.B) {
+	const (
+		clients    = 8
+		chunk      = 64 << 10
+		perClient  = 4 // chunks per client per iteration
+		shardBytes = 4 << 20
+	)
+	devices := make([]*core.Device, 4)
+	for i := range devices {
+		devices[i] = core.NewDevice(core.Config{DeviceBytes: shardBytes})
+	}
+	p, err := New(devices, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+
+	// Per-client working sets: fp64-like data that compresses to ~2x, the
+	// realistic middle of the codec's range.
+	data := make([][]byte, clients)
+	handles := make([]*Handle, clients)
+	r := gen.NewRNG(7, 1)
+	for c := range data {
+		data[c] = make([]byte, perClient*chunk)
+		(gen.Noisy64{NoiseBits: 8, HiStep: 1}).Fill(data[c], r)
+		h, err := p.Malloc(fmt.Sprintf("c%d", c), int64(len(data[c])), core.Target2x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[c] = h
+	}
+	read := make([][]byte, clients)
+	for c := range read {
+		read[c] = make([]byte, len(data[c]))
+	}
+	b.SetBytes(int64(clients * perClient * chunk * 2)) // written + read back
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			go func(c int) {
+				var futs []*Future
+				for k := 0; k < perClient; k++ {
+					futs = append(futs, p.SubmitWrite(handles[c], data[c][k*chunk:(k+1)*chunk], int64(k*chunk)))
+				}
+				for _, f := range futs {
+					if _, err := f.Wait(); err != nil {
+						done <- err
+						return
+					}
+				}
+				if _, err := p.SubmitRead(handles[c], read[c], 0).Wait(); err != nil {
+					done <- err
+					return
+				}
+				done <- nil
+			}(c)
+		}
+		for c := 0; c < clients; c++ {
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ShardLoad is the per-shard occupancy view a Placement policy decides
+// from; the pool snapshots it under its allocation lock, so successive
+// Mallocs on an otherwise idle pool see deterministic loads.
+type ShardLoad struct {
+	// Shard is the shard index.
+	Shard int
+	// DeviceUsed and DeviceCapacity are the shard's device-slab occupancy.
+	DeviceUsed, DeviceCapacity int64
+	// BuddyUsed is the shard's overflow-tier occupancy.
+	BuddyUsed int64
+	// Allocs counts the shard's live allocations.
+	Allocs int
+}
+
+// Placement chooses the shard an allocation is first offered to. The pool
+// then spills through the remaining shards in index order when the chosen
+// shard is out of memory, so a policy only ranks the preferred start.
+//
+// Implementations must be safe for concurrent use; picks on a pool with
+// in-flight traffic are inherently racy against each other (two concurrent
+// Mallocs may pick the same least-used shard), but the pool serializes the
+// load snapshot and the reservation, so placement on a quiet pool is
+// deterministic.
+type Placement interface {
+	// Name identifies the policy in stats and errors.
+	Name() string
+	// Pick returns the preferred shard for an allocation of size bytes
+	// given the current loads (always non-empty, indexed by shard).
+	Pick(loads []ShardLoad, size int64) int
+}
+
+// leastUsed places on the shard with the fewest device bytes in use,
+// breaking ties toward the lowest shard index — the default policy.
+type leastUsed struct{}
+
+// LeastUsed returns the default placement policy: least-used device with a
+// deterministic lowest-index tie-break.
+func LeastUsed() Placement { return leastUsed{} }
+
+func (leastUsed) Name() string { return "least-used" }
+
+func (leastUsed) Pick(loads []ShardLoad, _ int64) int {
+	best := 0
+	for i, l := range loads[1:] {
+		if l.DeviceUsed < loads[best].DeviceUsed {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// roundRobin rotates the start shard across successive Mallocs.
+type roundRobin struct {
+	next atomic.Uint64
+}
+
+// RoundRobin returns a placement policy that rotates allocations across
+// shards in submission order, regardless of occupancy.
+func RoundRobin() Placement { return &roundRobin{} }
+
+func (*roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Pick(loads []ShardLoad, _ int64) int {
+	return int((r.next.Add(1) - 1) % uint64(len(loads)))
+}
+
+// explicit pins the start shard.
+type explicit struct {
+	shard int
+}
+
+// Explicit returns a placement policy that always offers allocations to
+// the given shard first (out-of-range indexes clamp into the pool); the
+// pool's usual spill-over still applies when that shard is full.
+func Explicit(shard int) Placement { return explicit{shard: shard} }
+
+func (e explicit) Name() string { return fmt.Sprintf("explicit-%d", e.shard) }
+
+func (e explicit) Pick(loads []ShardLoad, _ int64) int {
+	if e.shard < 0 {
+		return 0
+	}
+	if e.shard >= len(loads) {
+		return len(loads) - 1
+	}
+	return e.shard
+}

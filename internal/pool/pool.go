@@ -1,0 +1,223 @@
+// Package pool implements the fleet-serving layer over the single-device
+// driver: a shard router that places allocations across N independent
+// core.Devices, spills to the next shard when one runs out of memory,
+// serves many concurrent clients through per-shard bounded submission
+// queues, and aggregates per-device telemetry into one view. One Device is
+// one GPU with one buddy-memory link; the pool is the front door a serving
+// system puts in front of the fleet.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"buddy/internal/core"
+)
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Placement chooses the shard each allocation is first offered to
+	// (default LeastUsed).
+	Placement Placement
+	// QueueDepth bounds each shard's async submission queue; Submit blocks
+	// when the owning shard's queue is full (backpressure instead of
+	// unbounded buffering). Default: GOMAXPROCS at pool construction.
+	QueueDepth int
+	// Workers is the number of worker goroutines draining each shard's
+	// queue. Default: GOMAXPROCS spread across the shards, at least one
+	// per shard. Each worker's bulk operations additionally fan out
+	// across the device's own parallel batch path.
+	Workers int
+}
+
+// ErrClosed is returned (wrapped) by operations on a closed pool.
+var ErrClosed = errors.New("pool: closed")
+
+// Pool is a shard router over N independent devices. It is safe for
+// concurrent use by multiple goroutines.
+type Pool struct {
+	devices []*core.Device
+	place   Placement
+
+	allocMu sync.Mutex // serializes placement snapshot + reservation
+
+	mu     sync.RWMutex // guards closed and the queues' lifecycle
+	closed bool
+	queues []chan *task
+	wg     sync.WaitGroup
+}
+
+// New builds a pool over the given devices. The devices must be freshly
+// constructed or otherwise dedicated to the pool: the pool routes by its
+// own handle table and aggregates the devices' telemetry wholesale.
+func New(devices []*core.Device, cfg Config) (*Pool, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("pool: need at least one device")
+	}
+	for i, d := range devices {
+		if d == nil {
+			return nil, fmt.Errorf("pool: device %d is nil", i)
+		}
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = LeastUsed()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = runtime.GOMAXPROCS(0)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = (runtime.GOMAXPROCS(0) + len(devices) - 1) / len(devices)
+	}
+	p := &Pool{
+		devices: devices,
+		place:   cfg.Placement,
+		queues:  make([]chan *task, len(devices)),
+	}
+	for i := range p.queues {
+		q := make(chan *task, cfg.QueueDepth)
+		p.queues[i] = q
+		for w := 0; w < workers; w++ {
+			p.wg.Add(1)
+			go p.worker(q)
+		}
+	}
+	return p, nil
+}
+
+// Shards returns the number of devices behind the pool.
+func (p *Pool) Shards() int { return len(p.devices) }
+
+// Device returns shard i's device for per-shard inspection.
+func (p *Pool) Device(i int) *core.Device { return p.devices[i] }
+
+// Placement returns the pool's placement policy.
+func (p *Pool) Placement() Placement { return p.place }
+
+// loads snapshots per-shard occupancy for a placement decision. Caller
+// must hold allocMu so the snapshot and the subsequent reservation are one
+// atomic placement step.
+func (p *Pool) loads() []ShardLoad {
+	out := make([]ShardLoad, len(p.devices))
+	for i, d := range p.devices {
+		primary, _ := d.Tiers()
+		out[i] = ShardLoad{
+			Shard:          i,
+			DeviceUsed:     d.DeviceUsed(),
+			DeviceCapacity: primary.Capacity(),
+			BuddyUsed:      d.BuddyUsed(),
+			Allocs:         d.AllocationCount(),
+		}
+	}
+	return out
+}
+
+// Malloc places a compressed allocation on a shard chosen by the pool's
+// placement policy, transparently spilling to the next shard (in index
+// order, wrapping) when the chosen one is out of memory. The returned
+// handle routes all later I/O to the owning device. When every shard is
+// full the error wraps core.ErrOutOfMemory.
+func (p *Pool) Malloc(name string, size int64, target core.TargetRatio) (*Handle, error) {
+	p.mu.RLock()
+	closed := p.closed
+	p.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("pool: Malloc %q: %w", name, ErrClosed)
+	}
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	start := p.place.Pick(p.loads(), size)
+	if start < 0 || start >= len(p.devices) {
+		return nil, fmt.Errorf("pool: placement %s picked shard %d of %d",
+			p.place.Name(), start, len(p.devices))
+	}
+	var oom error
+	for k := 0; k < len(p.devices); k++ {
+		i := (start + k) % len(p.devices)
+		a, err := p.devices[i].Malloc(name, size, target)
+		if err == nil {
+			return &Handle{pool: p, shard: i, a: a}, nil
+		}
+		if !errors.Is(err, core.ErrOutOfMemory) {
+			return nil, err
+		}
+		if oom == nil {
+			oom = err
+		}
+	}
+	return nil, fmt.Errorf("pool: %q (%d bytes) fits no shard (placement %s, %d shards): %w",
+		name, size, p.place.Name(), len(p.devices), oom)
+}
+
+// Handles returns a handle for every live allocation across all shards, in
+// shard order then allocation order.
+func (p *Pool) Handles() []*Handle {
+	var out []*Handle
+	for i, d := range p.devices {
+		for _, a := range d.Allocations() {
+			out = append(out, &Handle{pool: p, shard: i, a: a})
+		}
+	}
+	return out
+}
+
+// Close shuts the async serving layer down: it waits for every queued
+// operation to drain, then stops the workers. Allocations and the devices
+// themselves stay usable through their handles; Close only retires the
+// submission queues. Closing twice is an error.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.closed = true
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return nil
+}
+
+// Handle is a placed allocation: it routes byte-addressed I/O and
+// lifecycle calls to the shard that owns the allocation. It satisfies
+// io.ReaderAt, io.WriterAt and io.Closer like the underlying Allocation.
+type Handle struct {
+	pool  *Pool
+	shard int
+	a     *core.Allocation
+}
+
+// Shard returns the index of the device holding the allocation.
+func (h *Handle) Shard() int { return h.shard }
+
+// Alloc returns the underlying device allocation for entry-granular tools.
+func (h *Handle) Alloc() *core.Allocation { return h.a }
+
+// Name returns the allocation's name.
+func (h *Handle) Name() string { return h.a.Name }
+
+// Size returns the allocation's requested byte size.
+func (h *Handle) Size() int64 { return h.a.Size() }
+
+// Target returns the allocation's current target compression ratio.
+func (h *Handle) Target() core.TargetRatio { return h.a.Target() }
+
+// ReadAt reads from the owning device; see core.Allocation.ReadAt.
+func (h *Handle) ReadAt(p []byte, off int64) (int, error) { return h.a.ReadAt(p, off) }
+
+// WriteAt writes through the owning device; see core.Allocation.WriteAt.
+func (h *Handle) WriteAt(p []byte, off int64) (int, error) { return h.a.WriteAt(p, off) }
+
+// Close frees the allocation on its owning device.
+func (h *Handle) Close() error { return h.a.Close() }
+
+// Memcpy copies n bytes from the start of src to the start of dst through
+// both compression pipelines; the handles may live on different shards
+// (the pool equivalent of a peer-to-peer cudaMemcpy).
+func Memcpy(dst, src *Handle, n int64) (int64, error) {
+	return core.Memcpy(dst.a, src.a, n)
+}

@@ -1,0 +1,202 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"buddy/internal/core"
+)
+
+// ShardStats is one device's slice of the pool's aggregate view.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// Allocs counts live allocations on the shard.
+	Allocs int
+	// DeviceUsed/DeviceCapacity and BuddyUsed/BuddyCapacity are the two
+	// tiers' occupancy (negative capacity means unbounded).
+	DeviceUsed, DeviceCapacity int64
+	BuddyUsed, BuddyCapacity   int64
+	// Traffic is the device's byte-level traffic snapshot.
+	Traffic core.Traffic
+	// MetadataCacheHitRate is the device's metadata cache hit rate.
+	MetadataCacheHitRate float64
+	// LinkReadBusyCycles and LinkWriteBusyCycles are the overflow
+	// interconnect's accumulated busy cycles per direction (zero when the
+	// overflow tier is not a buddy carve-out). Busy cycles count time
+	// actually spent transferring — idle gaps between requests excluded —
+	// so they divide by a horizon to give true utilization.
+	LinkReadBusyCycles, LinkWriteBusyCycles float64
+}
+
+// Stats is the pool-wide aggregate of the per-shard telemetry.
+type Stats struct {
+	// Shards holds one entry per shard, in shard order.
+	Shards []ShardStats
+	// Traffic is the element-wise sum of every shard's traffic counters.
+	Traffic core.Traffic
+	// Allocs, DeviceUsed, DeviceCapacity and BuddyUsed are fleet totals.
+	Allocs         int
+	DeviceUsed     int64
+	DeviceCapacity int64
+	BuddyUsed      int64
+	// MetadataCacheHitRate is the access-weighted mean of the shards' hit
+	// rates (weighted by each shard's entry accesses, so idle shards do
+	// not dilute the fleet number).
+	MetadataCacheHitRate float64
+}
+
+func addTraffic(a, b core.Traffic) core.Traffic {
+	return core.Traffic{
+		DeviceReadBytes:   a.DeviceReadBytes + b.DeviceReadBytes,
+		DeviceWriteBytes:  a.DeviceWriteBytes + b.DeviceWriteBytes,
+		BuddyReadBytes:    a.BuddyReadBytes + b.BuddyReadBytes,
+		BuddyWriteBytes:   a.BuddyWriteBytes + b.BuddyWriteBytes,
+		MetadataFillBytes: a.MetadataFillBytes + b.MetadataFillBytes,
+		MigrationBytes:    a.MigrationBytes + b.MigrationBytes,
+		Reads:             a.Reads + b.Reads,
+		Writes:            a.Writes + b.Writes,
+		BuddyAccesses:     a.BuddyAccesses + b.BuddyAccesses,
+	}
+}
+
+// Stats aggregates every shard's traffic, capacity and metadata-cache
+// telemetry into one fleet view.
+func (p *Pool) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, len(p.devices))}
+	var weightedHits, weight float64
+	for i, d := range p.devices {
+		primary, overflow := d.Tiers()
+		s := ShardStats{
+			Shard:                i,
+			Allocs:               d.AllocationCount(),
+			DeviceUsed:           d.DeviceUsed(),
+			DeviceCapacity:       primary.Capacity(),
+			BuddyUsed:            d.BuddyUsed(),
+			BuddyCapacity:        overflow.Capacity(),
+			Traffic:              d.Traffic(),
+			MetadataCacheHitRate: d.MetadataCacheHitRate(),
+		}
+		if c, ok := overflow.(*core.CarveoutBackend); ok {
+			s.LinkReadBusyCycles, s.LinkWriteBusyCycles = c.LinkOccupancy()
+		}
+		st.Shards[i] = s
+		st.Traffic = addTraffic(st.Traffic, s.Traffic)
+		st.Allocs += s.Allocs
+		st.DeviceUsed += s.DeviceUsed
+		st.DeviceCapacity += s.DeviceCapacity
+		st.BuddyUsed += s.BuddyUsed
+		accesses := float64(s.Traffic.Reads + s.Traffic.Writes)
+		weightedHits += s.MetadataCacheHitRate * accesses
+		weight += accesses
+	}
+	if weight > 0 {
+		st.MetadataCacheHitRate = weightedHits / weight
+	}
+	return st
+}
+
+// ResetTraffic clears every shard's traffic counters and metadata caches.
+func (p *Pool) ResetTraffic() {
+	for _, d := range p.devices {
+		d.ResetTraffic()
+	}
+}
+
+// CompressionRatio returns the fleet-wide capacity compression: original
+// bytes of live allocations over their device reservations, across all
+// shards.
+func (p *Pool) CompressionRatio() float64 {
+	var orig, dev float64
+	for _, d := range p.devices {
+		for _, a := range d.Allocations() {
+			orig += float64(a.EntryCount) * core.EntryBytes
+			dev += float64(a.EntryCount) * float64(a.Target().DeviceBytes())
+		}
+	}
+	if dev == 0 {
+		return 1
+	}
+	return orig / dev
+}
+
+// Targets returns the fleet-wide name -> target map of live allocations —
+// the "current" input for the next PlanReprofile. Names are unique per
+// shard but the pool does not enforce global uniqueness; a duplicate name
+// resolves to the highest shard's allocation, mirroring ApplyReprofile's
+// routing.
+func (p *Pool) Targets() map[string]core.TargetRatio {
+	m := make(map[string]core.TargetRatio)
+	for _, d := range p.devices {
+		for name, t := range d.Targets() {
+			m[name] = t
+		}
+	}
+	return m
+}
+
+// ApplyReprofile executes a checkpoint-time plan across the fleet: each
+// decision is routed to the shard owning the named allocation and the
+// per-shard sub-plans run in parallel, one goroutine per involved shard
+// (each shard serializes its own migrations internally). Decisions naming
+// no live allocation are skipped, like stale decisions on a single device.
+func (p *Pool) ApplyReprofile(plan *core.ReprofilePlan) (core.MigrationStats, error) {
+	var st core.MigrationStats
+	if plan == nil || len(plan.Decisions) == 0 {
+		return st, nil
+	}
+	// Route decisions to their owning shards.
+	sub := make([]*core.ReprofilePlan, len(p.devices))
+	owners := make([]map[string]bool, len(p.devices))
+	for i, d := range p.devices {
+		owners[i] = make(map[string]bool)
+		for name := range d.Targets() {
+			owners[i][name] = true
+		}
+	}
+	for _, dec := range plan.Decisions {
+		placed := false
+		// Highest shard wins for duplicate names, mirroring how Targets()
+		// resolves them — the plan's Old target came from that shard, so
+		// the stale check below must run against the same allocation.
+		for i := len(p.devices) - 1; i >= 0; i-- {
+			if owners[i][dec.Name] {
+				if sub[i] == nil {
+					sub[i] = &core.ReprofilePlan{}
+				}
+				sub[i].Decisions = append(sub[i].Decisions, dec)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			st.Skipped++
+		}
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for i, pl := range sub {
+		if pl == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(shard int, pl *core.ReprofilePlan) {
+			defer wg.Done()
+			got, err := p.devices[shard].ApplyReprofile(pl)
+			mu.Lock()
+			defer mu.Unlock()
+			st.Applied += got.Applied
+			st.Skipped += got.Skipped
+			st.MigratedBytes += got.MigratedBytes
+			if err != nil {
+				errs = append(errs, fmt.Errorf("pool: shard %d: %w", shard, err))
+			}
+		}(i, pl)
+	}
+	wg.Wait()
+	return st, errors.Join(errs...)
+}

@@ -3,12 +3,27 @@ package buddy
 import (
 	"buddy/internal/core"
 	"buddy/internal/nvlink"
+	"buddy/internal/pool"
 )
 
-// Option configures a Device built by New. The zero configuration is the
-// paper's final design (§3.5): BPC compression, a 12 GB device, a 3x NVLink
-// buddy carve-out and a 4-way sliced metadata cache.
-type Option func(*core.Config)
+// config gathers everything the options configure: the per-device core
+// configuration plus the pool-level sharding and serving parameters. The
+// overflow tier is carried as a factory so every shard of a pool gets its
+// own instance (a Backend holds capacity and link state).
+type config struct {
+	core       core.Config
+	overflow   func() Backend
+	shards     int
+	placement  pool.Placement
+	queueDepth int
+}
+
+// Option configures a Device built by New or a Pool built by NewPool. The
+// zero configuration is the paper's final design (§3.5): BPC compression, a
+// 12 GB device, a 3x NVLink buddy carve-out and a 4-way sliced metadata
+// cache. Device-level options apply to every shard of a pool; pool-level
+// options (WithShards, WithPlacement, WithQueueDepth) are ignored by New.
+type Option func(*config)
 
 // New creates a Buddy Compression device from the paper's final-design
 // defaults, adjusted by the given options:
@@ -19,11 +34,73 @@ type Option func(*core.Config)
 //		buddy.WithCarveoutFactor(3),
 //	)
 func New(opts ...Option) *Device {
-	var cfg core.Config
+	var cfg config
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return core.NewDevice(cfg)
+	c := cfg.core
+	if cfg.overflow != nil {
+		c.Overflow = cfg.overflow()
+	}
+	return core.NewDevice(c)
+}
+
+// NewPool creates a sharded pool of devices behind one front door: N
+// identically configured devices (one per shard, each with its own buddy
+// carve-out and metadata cache), a placement policy routing allocations
+// across them with transparent spill-over, and per-shard bounded queues
+// serving asynchronous I/O:
+//
+//	p, err := buddy.NewPool(
+//		buddy.WithShards(4),
+//		buddy.WithDeviceBytes(1<<30),
+//		buddy.WithPlacement(buddy.PlaceRoundRobin()),
+//	)
+//
+// The default is a single shard with least-used placement — a 1-shard pool
+// behaves byte-identically to a bare Device.
+func NewPool(opts ...Option) (*Pool, error) {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	n := cfg.shards
+	if n <= 0 {
+		n = 1
+	}
+	devices := make([]*core.Device, n)
+	for i := range devices {
+		c := cfg.core
+		if cfg.overflow != nil {
+			c.Overflow = cfg.overflow()
+		}
+		devices[i] = core.NewDevice(c)
+	}
+	return pool.New(devices, pool.Config{
+		Placement:  cfg.placement,
+		QueueDepth: cfg.queueDepth,
+	})
+}
+
+// WithShards sets the number of devices behind a NewPool (default 1). Each
+// shard is a full Device with its own slab, carve-out and metadata cache;
+// aggregate pool capacity is shards x WithDeviceBytes.
+func WithShards(n int) Option {
+	return func(cfg *config) { cfg.shards = n }
+}
+
+// WithPlacement selects the pool's placement policy (default
+// PlaceLeastUsed). See PlaceLeastUsed, PlaceRoundRobin and PlaceShard.
+func WithPlacement(p Placement) Option {
+	return func(cfg *config) { cfg.placement = p }
+}
+
+// WithQueueDepth bounds each shard's asynchronous submission queue:
+// Pool.SubmitRead/SubmitWrite block when the owning shard already has this
+// many operations queued (backpressure instead of unbounded buffering).
+// The default is GOMAXPROCS at pool construction.
+func WithQueueDepth(n int) Option {
+	return func(cfg *config) { cfg.queueDepth = n }
 }
 
 // WithCodec selects the memory compression algorithm (default BPC, §2.4).
@@ -32,7 +109,7 @@ func New(opts ...Option) *Device {
 // within a single ReadAt/WriteAt/Memcpy call (all built-in algorithms are
 // stateless and qualify).
 func WithCodec(c Codec) Option {
-	return func(cfg *core.Config) { cfg.Codec = c }
+	return func(cfg *config) { cfg.core.Codec = c }
 }
 
 // WithCompressor selects the memory compression algorithm.
@@ -41,15 +118,16 @@ func WithCodec(c Codec) Option {
 func WithCompressor(c Codec) Option { return WithCodec(c) }
 
 // WithDeviceBytes sets the GPU device-memory capacity available for
-// compressed allocations (default 12 GB).
+// compressed allocations (default 12 GB). For a pool this is the per-shard
+// capacity.
 func WithDeviceBytes(n int64) Option {
-	return func(cfg *core.Config) { cfg.DeviceBytes = n }
+	return func(cfg *config) { cfg.core.DeviceBytes = n }
 }
 
 // WithCarveoutFactor sizes the buddy carve-out relative to device memory;
 // the default 3x supports a 4x maximum target ratio (§3.2).
 func WithCarveoutFactor(k int) Option {
-	return func(cfg *core.Config) { cfg.CarveoutFactor = k }
+	return func(cfg *config) { cfg.core.CarveoutFactor = k }
 }
 
 // LinkConfig describes the interconnect to the buddy carve-out; the zero
@@ -57,18 +135,19 @@ func WithCarveoutFactor(k int) Option {
 type LinkConfig = nvlink.Config
 
 // WithLink configures the interconnect of the default buddy carve-out tier
-// (bandwidth, clock, latency) — the Fig. 11 sweep variable.
+// (bandwidth, clock, latency) — the Fig. 11 sweep variable. Each shard of a
+// pool gets its own link.
 func WithLink(link LinkConfig) Option {
-	return func(cfg *core.Config) { cfg.Link = link }
+	return func(cfg *config) { cfg.core.Link = link }
 }
 
 // WithMetadataCache sizes the sliced, set-associative metadata cache
 // (default 64 KB total, 8 slices, 4 ways; §3.2, Fig. 5).
 func WithMetadataCache(totalBytes, slices, ways int) Option {
-	return func(cfg *core.Config) {
-		cfg.MetadataCacheBytes = totalBytes
-		cfg.MetadataCacheSlices = slices
-		cfg.MetadataCacheWays = ways
+	return func(cfg *config) {
+		cfg.core.MetadataCacheBytes = totalBytes
+		cfg.core.MetadataCacheSlices = slices
+		cfg.core.MetadataCacheWays = ways
 	}
 }
 
@@ -78,23 +157,29 @@ func WithMetadataCache(totalBytes, slices, ways int) Option {
 // migration cost is repaid by its buddy-access reduction within this many
 // accesses (ReprofilePlan.Worthwhile, §3.4 extension). Default 2^30.
 func WithReprofileHorizon(accesses int64) Option {
-	return func(cfg *core.Config) { cfg.ReprofileHorizon = accesses }
+	return func(cfg *config) { cfg.core.ReprofileHorizon = accesses }
 }
 
 // WithOverflowBackend replaces the overflow storage tier entirely. The
 // default is the paper's NVLink buddy carve-out of
 // DeviceBytes*CarveoutFactor; any Backend implementation (peer GPU,
-// disaggregated appliance, ...) can stand in.
+// disaggregated appliance, ...) can stand in. With NewPool the single
+// instance is shared by every shard — a fleet spilling into one
+// disaggregated tier; use WithHostFallback or the default carve-out for
+// per-shard overflow.
 func WithOverflowBackend(b Backend) Option {
-	return func(cfg *core.Config) { cfg.Overflow = b }
+	return func(cfg *config) { cfg.overflow = func() Backend { return b } }
 }
 
 // WithHostFallback routes overflow sectors to host unified memory behind a
 // demand pager instead of a buddy carve-out — the tier to use when no
 // NVLink buddy memory is attached. pageBytes is the migration granularity
-// (0 = 64 KB) and residentBytes bounds the pages kept hot.
+// (0 = 64 KB) and residentBytes bounds the pages kept hot. Each shard of a
+// pool gets its own pager.
 func WithHostFallback(pageBytes int, residentBytes int64) Option {
-	return func(cfg *core.Config) { cfg.Overflow = core.NewHostBackend(pageBytes, residentBytes) }
+	return func(cfg *config) {
+		cfg.overflow = func() Backend { return core.NewHostBackend(pageBytes, residentBytes) }
+	}
 }
 
 // NewCarveoutBackend builds the paper's overflow tier explicitly: a buddy

@@ -2,6 +2,7 @@ package buddy
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -113,6 +114,92 @@ func TestWithHostFallback(t *testing.T) {
 	}
 }
 
+func TestNewPoolOptions(t *testing.T) {
+	// Default: one shard, least-used placement — the bare-device shape.
+	p1, err := NewPool(WithDeviceBytes(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	if p1.Shards() != 1 || p1.Placement().Name() != "least-used" {
+		t.Fatalf("default pool: %d shards, placement %s", p1.Shards(), p1.Placement().Name())
+	}
+
+	// Sharded: every device gets the per-shard config, including its own
+	// carve-out (capacities must not be shared between shards).
+	p4, err := NewPool(
+		WithShards(4),
+		WithDeviceBytes(1<<20),
+		WithCarveoutFactor(2),
+		WithPlacement(PlaceRoundRobin()),
+		WithQueueDepth(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p4.Close()
+	st := p4.Stats()
+	if len(st.Shards) != 4 || st.DeviceCapacity != 4<<20 {
+		t.Fatalf("4-shard pool: %d shards, %d total capacity", len(st.Shards), st.DeviceCapacity)
+	}
+	for i := 0; i < 4; i++ {
+		if got := p4.Device(i).Carveout(); got != 2<<20 {
+			t.Fatalf("shard %d carve-out = %d, want per-shard 2 MiB", i, got)
+		}
+	}
+	// Round-robin placement + async I/O through the public surface.
+	data := []byte("pool options round trip")
+	var hs []*Handle
+	for i := 0; i < 4; i++ {
+		h, err := p4.Malloc(fmt.Sprintf("t%d", i), 8<<10, Target2x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Shard() != i {
+			t.Fatalf("round-robin alloc %d on shard %d", i, h.Shard())
+		}
+		hs = append(hs, h)
+		if _, err := p4.SubmitWrite(h, data, 64).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, len(data))
+	if _, err := p4.SubmitRead(hs[2], got, 64).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("pool async round-trip mismatch")
+	}
+	// Cross-shard handle copy.
+	if _, err := MemcpyHandles(hs[3], hs[0], 1<<10); err != nil {
+		t.Fatal(err)
+	}
+
+	// WithHostFallback builds a distinct pager per shard.
+	ph, err := NewPool(WithShards(2), WithDeviceBytes(1<<20), WithHostFallback(0, 64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ph.Close()
+	_, o0 := ph.Device(0).Tiers()
+	_, o1 := ph.Device(1).Tiers()
+	if o0 == o1 {
+		t.Error("host-fallback tiers must not be shared between shards")
+	}
+	// WithOverflowBackend shares the one instance, by contract.
+	shared := NewCarveoutBackend(1<<20, LinkConfig{})
+	ps, err := NewPool(WithShards(2), WithDeviceBytes(1<<20), WithOverflowBackend(shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	_, s0 := ps.Device(0).Tiers()
+	_, s1 := ps.Device(1).Tiers()
+	if s0 != s1 || s0 != Backend(shared) {
+		t.Error("WithOverflowBackend should install the shared instance on every shard")
+	}
+}
+
 func TestAllocationIsReaderWriterAt(t *testing.T) {
 	var _ io.ReaderAt = (*Allocation)(nil)
 	var _ io.WriterAt = (*Allocation)(nil)
@@ -130,8 +217,8 @@ func TestAllocationIsReaderWriterAt(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	reg := ExperimentRegistry()
-	if len(reg) != 16 {
-		t.Fatalf("registered experiments = %d, want 16", len(reg))
+	if len(reg) != 17 {
+		t.Fatalf("registered experiments = %d, want 17", len(reg))
 	}
 	for _, e := range reg {
 		if e.Description == "" {
