@@ -25,6 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer alloc.Close()
 	fmt.Printf("allocated %d bytes at target %s: device %d KiB, carve-out %d KiB\n",
 		alloc.Size(), alloc.Target(), dev.DeviceUsed()>>10, dev.BuddyUsed()>>10)
 
@@ -75,6 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer clone.Close()
 	if _, err := buddy.Memcpy(clone, alloc, alloc.Size()); err != nil {
 		log.Fatal(err)
 	}

@@ -41,6 +41,7 @@ func main() {
 	// async queues, reads it back, and verifies — all concurrently.
 	var wg sync.WaitGroup
 	placed := make([]int, *clients)
+	handles := make([]*buddy.Handle, *clients)
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -59,6 +60,7 @@ func main() {
 				log.Fatal(err)
 			}
 			placed[c] = h.Shard()
+			handles[c] = h
 			if _, err := p.SubmitWrite(h, data, 0).Wait(); err != nil {
 				log.Fatal(err)
 			}
@@ -91,6 +93,14 @@ func main() {
 			s.LinkReadBusyCycles, s.LinkWriteBusyCycles)
 	}
 
+	// The fleet view has been taken; release the working sets so their
+	// device and carve-out reservations go back to the shards.
+	for _, h := range handles {
+		if err := h.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// Spill-over: a burst pinned to shard 0 overflows onto the rest of the
 	// fleet instead of failing.
 	burst, err := buddy.NewPool(
@@ -107,6 +117,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Hold every burst allocation until exit — releasing one early
+		// would hand its capacity back and hide the spill-over.
+		defer h.Close()
 		fmt.Printf("burst alloc %d -> shard %d\n", i, h.Shard())
 	}
 }

@@ -1,3 +1,11 @@
 module buddy
 
 go 1.24
+
+// buddylint is the module's own lint gate (make lint). The analyzer
+// framework it builds on is vendored as internal/lint/analysis — an
+// API-compatible, stdlib-only mirror of golang.org/x/tools/go/analysis —
+// so the tool pins with the module itself instead of an external
+// x/tools version; swapping the import back to x/tools is a one-line
+// change per analyzer if a dependency on it ever lands.
+tool buddy/cmd/buddylint

@@ -133,6 +133,8 @@ func bdiRepeated8(entry []byte) (uint64, bool) {
 // stream for compressed encodings and the raw cap of EntryBytes*8 for the
 // ID-15 fallback (the ID is hardware metadata there, as with the other
 // codecs' framing flag).
+//
+//buddy:hotpath
 func (BDI) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
 	start := len(dst)
@@ -182,6 +184,8 @@ func (BDI) AppendCompressed(dst, entry []byte) ([]byte, int) {
 }
 
 // DecompressInto implements Codec.
+//
+//buddy:hotpath
 func (BDI) DecompressInto(dst, comp []byte) error {
 	checkDst(dst)
 	r := NewBitReader(comp)

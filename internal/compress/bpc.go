@@ -149,6 +149,8 @@ func bpcEncodeTo(w *BitWriter, entry []byte) {
 // AppendCompressed implements Codec: one encode produces both the framed
 // stream (first bit 0 = BPC stream, 1 = raw 128 bytes) and the payload bit
 // count, capped at the raw 1024 bits.
+//
+//buddy:hotpath
 func (BPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
 	start := len(dst)
@@ -164,6 +166,8 @@ func (BPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 }
 
 // DecompressInto implements Codec.
+//
+//buddy:hotpath
 func (BPC) DecompressInto(dst, comp []byte) error {
 	checkDst(dst)
 	r := NewBitReader(comp)

@@ -97,6 +97,8 @@ func cpackEncode(entry []byte, w *BitWriter) {
 
 // AppendCompressed implements Codec; the leading framing bit (0 = C-PACK
 // stream, 1 = raw) mirrors BPC/FPC.
+//
+//buddy:hotpath
 func (CPack) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
 	start := len(dst)
@@ -112,6 +114,8 @@ func (CPack) AppendCompressed(dst, entry []byte) ([]byte, int) {
 }
 
 // DecompressInto implements Codec.
+//
+//buddy:hotpath
 func (CPack) DecompressInto(dst, comp []byte) error {
 	checkDst(dst)
 	r := NewBitReader(comp)

@@ -80,6 +80,8 @@ func fpcEncode(entry []byte, w *BitWriter) {
 // AppendCompressed implements Codec. A leading framing bit distinguishes
 // the FPC stream (0) from a raw fallback (1); as with BPC the flag is
 // hardware metadata and excluded from the reported bits.
+//
+//buddy:hotpath
 func (FPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
 	start := len(dst)
@@ -95,6 +97,8 @@ func (FPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 }
 
 // DecompressInto implements Codec.
+//
+//buddy:hotpath
 func (FPC) DecompressInto(dst, comp []byte) error {
 	checkDst(dst)
 	r := NewBitReader(comp)

@@ -83,6 +83,8 @@ func fvcEncode(entry []byte, w *BitWriter) {
 
 // AppendCompressed implements Codec; the leading framing bit (0 = FVC
 // stream, 1 = raw) mirrors the other codecs.
+//
+//buddy:hotpath
 func (FVC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
 	start := len(dst)
@@ -98,6 +100,8 @@ func (FVC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 }
 
 // DecompressInto implements Codec.
+//
+//buddy:hotpath
 func (FVC) DecompressInto(dst, comp []byte) error {
 	checkDst(dst)
 	r := NewBitReader(comp)

@@ -11,6 +11,8 @@ func (Zero) Name() string { return "zero" }
 // AppendCompressed implements Codec: one framing bit (0 = zero entry, the
 // payload is 0 bits — existence is encoded in metadata) or the framing bit
 // plus the raw bytes.
+//
+//buddy:hotpath
 func (Zero) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
 	var w BitWriter
@@ -25,6 +27,8 @@ func (Zero) AppendCompressed(dst, entry []byte) ([]byte, int) {
 }
 
 // DecompressInto implements Codec.
+//
+//buddy:hotpath
 func (Zero) DecompressInto(dst, comp []byte) error {
 	checkDst(dst)
 	r := NewBitReader(comp)

@@ -83,6 +83,7 @@ func (a *Allocation) WriteEntries(start int, data []byte) error {
 	if err := a.checkEntryRange(start, n); err != nil {
 		return err
 	}
+	//buddy:hotpath
 	return parallelSpan(n, func(lo, hi int) error {
 		scratch := streamScratchPool.Get().(*[]byte)
 		defer streamScratchPool.Put(scratch)
@@ -110,6 +111,7 @@ func (a *Allocation) ReadEntries(start int, dst []byte) error {
 	if err := a.checkEntryRange(start, n); err != nil {
 		return err
 	}
+	//buddy:hotpath
 	return parallelSpan(n, func(lo, hi int) error {
 		scratch := streamScratchPool.Get().(*[]byte)
 		defer streamScratchPool.Put(scratch)

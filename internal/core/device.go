@@ -428,6 +428,8 @@ var streamScratchPool = sync.Pool{
 // WriteEntry compresses and stores a 128 B entry. Sectors beyond the target
 // budget are written to the entry's fixed overflow slot; no other entry is
 // disturbed regardless of compressibility changes.
+//
+//buddy:hotpath
 func (a *Allocation) WriteEntry(i int, data []byte) error {
 	scratch := streamScratchPool.Get().(*[]byte)
 	err := a.writeEntry(i, data, scratch)
@@ -440,6 +442,8 @@ func (a *Allocation) WriteEntry(i int, data []byte) error {
 // entry is encoded exactly once — the framed stream and the sector count
 // both come out of the same AppendCompressed pass — and the encode runs
 // outside every lock; the shard lock covers only the table update.
+//
+//buddy:hotpath
 func (a *Allocation) writeEntry(i int, data []byte, scratch *[]byte) error {
 	if err := a.checkIndex(i); err != nil {
 		return err
@@ -486,6 +490,8 @@ func (a *Allocation) writeEntry(i int, data []byte, scratch *[]byte) error {
 }
 
 // ReadEntry fetches and decompresses entry i into dst (128 bytes).
+//
+//buddy:hotpath
 func (a *Allocation) ReadEntry(i int, dst []byte) error {
 	scratch := streamScratchPool.Get().(*[]byte)
 	err := a.readEntry(i, dst, scratch)
@@ -497,6 +503,8 @@ func (a *Allocation) ReadEntry(i int, dst []byte) error {
 // stream is snapshotted into the scratch under the shard lock (writers reuse
 // stream buffers in place, so the reference itself must not leave the
 // critical section) and decoded outside it, straight into dst.
+//
+//buddy:hotpath
 func (a *Allocation) readEntry(i int, dst []byte, scratch *[]byte) error {
 	if err := a.checkIndex(i); err != nil {
 		return err

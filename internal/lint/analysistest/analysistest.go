@@ -1,0 +1,191 @@
+// Package analysistest runs one analyzer over fixture packages under
+// internal/lint/testdata/src and checks its diagnostics against `// want`
+// comments in the fixture sources, mirroring the x/tools analysistest
+// convention on the vendored analysis framework.
+//
+// A fixture line asserts the diagnostics it expects as quoted regular
+// expressions:
+//
+//	h, err := d.Malloc("x", 1) // want `never reaches Close or Free`
+//
+// Every diagnostic must be matched by a want on its line, and every want
+// must match a diagnostic; either mismatch fails the test. Fixture
+// packages may import each other by directory name ("compress" resolves
+// to testdata/src/compress); imports of real module or standard-library
+// packages resolve through the module's compiled export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"buddy/internal/lint/analysis"
+	"buddy/internal/lint/loader"
+)
+
+// exports is the module's export-data map, built once per test process;
+// fixture imports of std or module packages resolve through it.
+var (
+	exportsOnce sync.Once
+	exports     map[string]string
+	exportsErr  error
+)
+
+func moduleExports() (map[string]string, error) {
+	exportsOnce.Do(func() {
+		dir, err := os.Getwd()
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		exports, exportsErr = loader.ExportData(dir, "buddy/...")
+	})
+	return exports, exportsErr
+}
+
+// runner loads fixture packages on demand so fixtures can import one
+// another (the importer's fallback calls back into load).
+type runner struct {
+	t        *testing.T
+	fset     *token.FileSet
+	imp      types.Importer
+	testdata string
+	pkgs     map[string]*loader.Package
+}
+
+func (r *runner) load(path string) (*loader.Package, error) {
+	if p, ok := r.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(r.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: fixture package %q: %w", path, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	pkg, err := loader.Check(r.fset, path, dir, files, r.imp, true)
+	if err != nil {
+		return nil, err
+	}
+	r.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// expectation is one parsed `// want "regexp"` assertion.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// parseWants extracts the expectations from one fixture file.
+func parseWants(t *testing.T, fset *token.FileSet, pkg *loader.Package) []*expectation {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want comment %q", pos, c.Text)
+						break
+					}
+					rest = rest[len(q):]
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %s", pos, q)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: want pattern does not compile: %v", pos, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Run applies a to each fixture package named by paths (directories under
+// internal/lint/testdata/src) and compares diagnostics with the fixtures'
+// want comments.
+func Run(t *testing.T, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	exp, err := moduleExports()
+	if err != nil {
+		t.Fatalf("building module export data: %v", err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &runner{
+		t:        t,
+		fset:     token.NewFileSet(),
+		testdata: filepath.Join(wd, "testdata"),
+		pkgs:     map[string]*loader.Package{},
+	}
+	r.imp = loader.NewImporter(r.fset, exp, func(path string) (*types.Package, error) {
+		p, err := r.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	})
+	for _, path := range paths {
+		pkg, err := r.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		// Fixtures are expected to type-check; an error here usually means
+		// a fixture edit broke compilation, which silently disables the
+		// type-driven half of most analyzers.
+		for _, te := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", path, te)
+		}
+		wants := parseWants(t, r.fset, pkg)
+		pass := pkg.Pass(a, r.fset, func(d analysis.Diagnostic) {
+			pos := r.fset.Position(d.Pos)
+			for _, w := range wants {
+				if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+					w.matched = true
+					return
+				}
+			}
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		})
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s on fixture %q: %v", a.Name, path, err)
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+			}
+		}
+	}
+}

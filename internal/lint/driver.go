@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"buddy/internal/lint/analysis"
+	"buddy/internal/lint/loader"
+)
+
+// A Finding is one diagnostic attributed to its analyzer, resolved to a
+// file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// suppression is one parsed //nolint:buddy/<name> directive.
+type suppression struct {
+	names  map[string]bool // analyzer names it silences
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// parseSuppressions extracts the buddy suppression directives from a
+// file. A directive silences matching diagnostics on its own line and the
+// line below it (so it can trail the flagged statement or sit above it).
+// The format is:
+//
+//	//nolint:buddy/<name>[,buddy/<name>...] -- reason
+//
+// The reason is mandatory; a directive without one is itself a finding,
+// so every suppression in the tree carries its justification.
+func parseSuppressions(fset *token.FileSet, file *ast.File) []*suppression {
+	var sups []*suppression
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, "//nolint:") {
+				continue
+			}
+			body := strings.TrimPrefix(text, "//nolint:")
+			spec, reason, _ := strings.Cut(body, "--")
+			names := make(map[string]bool)
+			ours := false
+			for _, n := range strings.Split(strings.TrimSpace(spec), ",") {
+				n = strings.TrimSpace(n)
+				if rest, ok := strings.CutPrefix(n, "buddy/"); ok {
+					names[rest] = true
+					ours = true
+				}
+			}
+			if !ours {
+				continue // some other tool's nolint; not buddylint's business
+			}
+			sups = append(sups, &suppression{
+				names:  names,
+				reason: strings.TrimSpace(reason),
+				pos:    fset.Position(c.Pos()),
+			})
+		}
+	}
+	return sups
+}
+
+// Run loads the packages matching patterns from the module rooted at dir,
+// applies every registered analyzer, and writes surviving findings to out.
+// It returns the number of findings written (suppression faults included).
+func Run(dir string, patterns []string, out io.Writer) (int, error) {
+	fset, pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	analyzers := Analyzers()
+	var findings []Finding
+	var sups []*suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			sups = append(sups, parseSuppressions(fset, f)...)
+		}
+		for _, a := range analyzers {
+			pass := pkg.Pass(a, fset, func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			})
+			if _, err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	findings = applySuppressions(findings, sups)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	return len(findings), nil
+}
+
+// applySuppressions drops findings matched by a well-formed suppression
+// and adds findings for malformed (reason-less) or unused directives.
+func applySuppressions(findings []Finding, sups []*suppression) []Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, s := range sups {
+			if !s.names[f.Analyzer] || s.pos.Filename != f.Pos.Filename {
+				continue
+			}
+			if f.Pos.Line == s.pos.Line || f.Pos.Line == s.pos.Line+1 {
+				s.used = true
+				if s.reason != "" {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, s := range sups {
+		switch {
+		case s.reason == "":
+			kept = append(kept, Finding{
+				Analyzer: "nolint",
+				Pos:      s.pos,
+				Message:  "suppression without a reason; write //nolint:buddy/<name> -- <why this violation is safe>",
+			})
+		case !s.used:
+			kept = append(kept, Finding{
+				Analyzer: "nolint",
+				Pos:      s.pos,
+				Message:  "suppression matches no diagnostic; delete it",
+			})
+		}
+	}
+	return kept
+}

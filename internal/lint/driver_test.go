@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseForSuppressions(t *testing.T, src string) (*token.FileSet, []*suppression) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sup.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, parseSuppressions(fset, f)
+}
+
+func TestParseSuppressions(t *testing.T) {
+	_, sups := parseForSuppressions(t, `package p
+
+//nolint:buddy/mustclose -- handle owned by the C side
+var a int
+
+//nolint:buddy/mustclose,buddy/lockorder -- FFI boundary
+var b int
+
+//nolint:gosec // some other linter's directive
+var c int
+
+//nolint:buddy/sentinelerr
+var d int
+`)
+	if len(sups) != 3 {
+		t.Fatalf("parsed %d buddy suppressions, want 3", len(sups))
+	}
+	if !sups[0].names["mustclose"] || sups[0].reason != "handle owned by the C side" {
+		t.Errorf("first suppression parsed as %+v", sups[0])
+	}
+	if !sups[1].names["mustclose"] || !sups[1].names["lockorder"] {
+		t.Errorf("multi-analyzer suppression parsed as %+v", sups[1])
+	}
+	if sups[2].reason != "" {
+		t.Errorf("reason-less suppression parsed a reason %q", sups[2].reason)
+	}
+}
+
+func TestApplySuppressions(t *testing.T) {
+	pos := func(line int) token.Position { return token.Position{Filename: "sup.go", Line: line} }
+	findings := []Finding{
+		{Analyzer: "mustclose", Pos: pos(10), Message: "leak"},
+		{Analyzer: "mustclose", Pos: pos(20), Message: "leak"},
+		{Analyzer: "lockorder", Pos: pos(10), Message: "order"},
+	}
+	sups := []*suppression{
+		// Justified, on the line above finding 1: suppresses it.
+		{names: map[string]bool{"mustclose": true}, reason: "ok", pos: pos(9)},
+		// Reason-less directive matching finding 2: finding survives and
+		// the directive itself becomes a finding.
+		{names: map[string]bool{"mustclose": true}, pos: pos(20)},
+		// Justified but matching nothing: unused, becomes a finding.
+		{names: map[string]bool{"sentinelerr": true}, reason: "ok", pos: pos(30)},
+	}
+	got := applySuppressions(findings, sups)
+	var kept []string
+	for _, f := range got {
+		kept = append(kept, f.Analyzer)
+	}
+	want := []string{"mustclose", "lockorder", "nolint", "nolint"}
+	if strings.Join(kept, " ") != strings.Join(want, " ") {
+		t.Fatalf("applySuppressions kept %v, want %v", kept, want)
+	}
+	for _, f := range got {
+		if f.Analyzer != "nolint" {
+			continue
+		}
+		if f.Pos.Line != 20 && f.Pos.Line != 30 {
+			t.Errorf("unexpected nolint finding at line %d: %s", f.Pos.Line, f.Message)
+		}
+	}
+}

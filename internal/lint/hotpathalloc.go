@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"buddy/internal/lint/analysis"
+)
+
+// hotpathMarker is the comment that opts a function (or function literal)
+// into the allocation ban: the single-pass data path the AllocsPerRun==0
+// benchmarks pin.
+const hotpathMarker = "//buddy:hotpath"
+
+// HotPathAlloc flags heap-allocating constructs inside functions marked
+// //buddy:hotpath: the codec AppendCompressed/DecompressInto
+// implementations, the entry read/write path and the parallelSpan worker
+// bodies. The steady state of these functions must not allocate; blocks
+// that end in return or panic are treated as cold (error/fallback) paths
+// and exempted, matching what the allocation benchmarks exercise.
+var HotPathAlloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: `ban heap allocation in //buddy:hotpath functions
+
+Flags make/new calls, slice and map composite literals, &T{...}
+literals, fmt.*/errors.* calls, string<->[]byte conversions, capturing
+closures and go statements inside functions or function literals marked
+with a //buddy:hotpath comment. Statements inside a block whose control
+flow ends in return or panic are exempt: those are the cold error paths
+the zero-allocation benchmarks never take.`,
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		// Lines on which a //buddy:hotpath marker comment ends; a marker
+		// on the line before (or the line of) a function literal marks it.
+		markerLines := make(map[int]bool)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == hotpathMarker {
+					markerLines[pass.Fset.Position(c.End()).Line] = true
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && funcDocHasMarker(n.Doc) {
+					checkHotBody(pass, n.Name.Name, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				line := pass.Fset.Position(n.Pos()).Line
+				if markerLines[line-1] || markerLines[line] {
+					checkHotBody(pass, "function literal", n.Type, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func funcDocHasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody walks one marked function body, skipping cold blocks.
+func checkHotBody(pass *analysis.Pass, name string, ftype *ast.FuncType, body *ast.BlockStmt) {
+	// The frame spans the signature too, so parameters count as
+	// function-local for the closure-capture check.
+	w := &hotWalker{pass: pass, name: name, lo: ftype.Pos(), hi: body.End()}
+	w.stmts(body.List)
+}
+
+type hotWalker struct {
+	pass   *analysis.Pass
+	name   string
+	lo, hi token.Pos // the marked function's source range, for capture checks
+}
+
+// blockIsCold reports whether a block unconditionally leaves the function:
+// its last statement is a return or a panic. Such blocks are the guarded
+// error/fallback exits the steady state never takes.
+func blockIsCold(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (w *hotWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *hotWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		if !blockIsCold(s.Body) {
+			w.stmts(s.Body.List)
+		}
+		if s.Else != nil {
+			if eb, ok := s.Else.(*ast.BlockStmt); ok && blockIsCold(eb) {
+				return
+			}
+			w.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+		w.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.GoStmt:
+		w.pass.Reportf(s.Pos(), "%s is //buddy:hotpath but spawns a goroutine", w.name)
+	case *ast.DeferStmt:
+		// defer itself is open-coded and allocation-free; check its call.
+		w.expr(s.Call)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		// var declarations of value types, ++/--, sends and branches do
+		// not allocate; composite initializers inside a DeclStmt still
+		// get checked below.
+		if ds, ok := s.(*ast.DeclStmt); ok {
+			w.expr0(ds.Decl)
+		}
+	}
+}
+
+// expr0 inspects any node's expressions for allocating constructs.
+func (w *hotWalker) expr0(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool { return w.visitExpr(n) })
+}
+
+func (w *hotWalker) expr(e ast.Expr) {
+	if e != nil {
+		w.expr0(e)
+	}
+}
+
+// visitExpr flags one allocating expression; returns false to stop
+// descending (function literals are their own frame).
+func (w *hotWalker) visitExpr(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		if captured := w.captures(n); captured != "" {
+			w.pass.Reportf(n.Pos(), "%s is //buddy:hotpath but builds a closure capturing %s (allocates per call)", w.name, captured)
+		}
+		return false
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				w.pass.Reportf(n.Pos(), "%s is //buddy:hotpath but heap-allocates &%s literal", w.name, typeLabel(w.pass, n.X))
+			}
+		}
+	case *ast.CompositeLit:
+		tv, ok := w.pass.TypesInfo.Types[n]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			w.pass.Reportf(n.Pos(), "%s is //buddy:hotpath but allocates a %s literal", w.name, typeLabel(w.pass, n))
+		}
+	case *ast.CallExpr:
+		w.visitCall(n)
+	}
+	return true
+}
+
+func (w *hotWalker) visitCall(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := w.pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make", "new":
+				w.pass.Reportf(call.Pos(), "%s is //buddy:hotpath but calls %s (heap-allocates)", w.name, obj.Name())
+			}
+		}
+	case *ast.SelectorExpr:
+		obj := w.pass.TypesInfo.Uses[fun.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			break
+		}
+		if p := obj.Pkg().Path(); p == "fmt" || p == "errors" {
+			w.pass.Reportf(call.Pos(), "%s is //buddy:hotpath but calls %s.%s (allocates)", w.name, p, fun.Sel.Name)
+		}
+	}
+	// string <-> []byte conversions copy into fresh storage.
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		if av, ok := w.pass.TypesInfo.Types[call.Args[0]]; ok && av.Type != nil {
+			src := av.Type.Underlying()
+			if (isString(dst) && isByteSlice(src)) || (isByteSlice(dst) && isString(src)) {
+				w.pass.Reportf(call.Pos(), "%s is //buddy:hotpath but converts between string and []byte (copies)", w.name)
+			}
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// typeLabel renders the composite literal's type for the message.
+func typeLabel(pass *analysis.Pass, e ast.Expr) string {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "composite"
+}
+
+// captures returns the name of one variable a function literal captures
+// from its enclosing function, or "" when the literal is capture-free
+// (and therefore a static, non-allocating closure).
+func (w *hotWalker) captures(lit *ast.FuncLit) string {
+	var name string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := w.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return true
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true // package-level variable, not a capture
+		}
+		// Declared inside the marked function but outside the literal.
+		if obj.Pos() >= w.lo && obj.Pos() < w.hi &&
+			(obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			name = obj.Name()
+		}
+		return true
+	})
+	return name
+}

@@ -1,0 +1,232 @@
+// Package loader loads type-checked packages for buddylint without
+// golang.org/x/tools/go/packages: `go list -json` supplies the file lists,
+// `go list -export` supplies compiled export data for every dependency, and
+// go/types checks the target packages from source against that export data.
+// Only the packages under analysis are parsed; all imports — stdlib and
+// module-internal alike — resolve through the build cache's export files,
+// which the go command rebuilds from current source on every run.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"buddy/internal/lint/analysis"
+)
+
+// A Package is one loaded, type-checked package ready for analysis. The
+// fields mirror what an analysis.Pass needs.
+type Package struct {
+	// ImportPath is the package's import path; external test packages get
+	// the go convention's "_test" suffix.
+	ImportPath string
+	Name       string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []types.Error
+}
+
+// Pass builds an analysis.Pass applying a to the package, delivering
+// diagnostics to report.
+func (p *Package) Pass(a *analysis.Analyzer, fset *token.FileSet, report func(analysis.Diagnostic)) *analysis.Pass {
+	return &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      p.Files,
+		Pkg:        p.Types,
+		TypesInfo:  p.Info,
+		TypeErrors: p.TypeErrors,
+		Report:     report,
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	Export       string
+	ForTest      string
+	DepOnly      bool
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportData compiles the given packages and their dependencies (test
+// dependencies included) and returns the import path -> export data file
+// map the type-checker imports through. The go command serves the files
+// from its build cache, so repeat runs are incremental.
+func ExportData(dir string, patterns ...string) (map[string]string, error) {
+	args := append([]string{"-e", "-export", "-deps", "-test", "-json=ImportPath,Export,ForTest"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		// Test variants ("p [p.test]", ForTest set) and synthesized test
+		// mains ("p.test") never serve as plain imports; skip them so the
+		// map holds exactly the importable build of each path.
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") || p.Export == "" {
+			continue
+		}
+		exports[p.ImportPath] = p.Export
+	}
+	return exports, nil
+}
+
+// exportImporter resolves imports through export data files, with an
+// optional fallback for paths outside the map (analysistest fixture
+// packages).
+type exportImporter struct {
+	base     types.ImporterFrom
+	exports  map[string]string
+	fallback func(path string) (*types.Package, error)
+}
+
+// NewImporter returns a types.Importer serving the export map, consulting
+// fallback (if non-nil) for paths the map lacks.
+func NewImporter(fset *token.FileSet, exports map[string]string, fallback func(string) (*types.Package, error)) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	gc := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return &exportImporter{base: gc, exports: exports, fallback: fallback}
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := ei.exports[path]; !ok && ei.fallback != nil {
+		return ei.fallback(path)
+	}
+	return ei.base.ImportFrom(path, "", 0)
+}
+
+// Check parses the given files and type-checks them as one package. With
+// allowErrors set, type errors are collected on the returned Package
+// instead of failing the load — fixture packages deliberately reference
+// retired API surface that no longer compiles.
+func Check(fset *token.FileSet, importPath, dir string, fileNames []string, imp types.Importer, allowErrors bool) (*Package, error) {
+	pkg := &Package{ImportPath: importPath, Dir: dir}
+	for _, name := range fileNames {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("loader: package %s has no files", importPath)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok {
+				pkg.TypeErrors = append(pkg.TypeErrors, te)
+			}
+		},
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tpkg, err := conf.Check(importPath, fset, pkg.Files, pkg.Info)
+	if err != nil && !allowErrors {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Load loads the module packages matching patterns from the module rooted
+// at dir, type-checked with their in-package test files; external test
+// packages (package foo_test) load as separate packages. Type errors fail
+// the load: buddylint runs after `go vet`, on a tree that must compile.
+func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Name,Dir,GoFiles,TestGoFiles,XTestGoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports, err := ExportData(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports, nil)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.DepOnly || len(t.GoFiles)+len(t.TestGoFiles) == 0 {
+			continue
+		}
+		files := append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+		pkg, err := Check(fset, t.ImportPath, t.Dir, files, imp, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+		if len(t.XTestGoFiles) > 0 {
+			xpkg, err := Check(fset, t.ImportPath+"_test", t.Dir, t.XTestGoFiles, imp, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			pkgs = append(pkgs, xpkg)
+		}
+	}
+	return fset, pkgs, nil
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"buddy/internal/lint/analysis"
+)
+
+// MustClose is a lostcancel-style lifecycle check: the handle returned by
+// Malloc (Device.Malloc, Pool.Malloc) or a pool constructor (NewPool,
+// pool.New) reserves device and carve-out capacity that only Close/Free
+// returns. In non-test code the result must reach a Close/Free call on
+// some path, or visibly escape the function (returned, stored, passed
+// on) so a caller can release it.
+var MustClose = &analysis.Analyzer{
+	Name: "mustclose",
+	Doc: `require Malloc/NewPool results to reach Close or Free
+
+Flags non-test functions that obtain an allocation handle from a method
+named Malloc, or a pool from NewPool/pool.New, and neither release it
+(x.Close(), Free(x), directly or deferred, anywhere in the function
+including nested literals) nor let it escape (returned, stored into a
+structure, sent on a channel, appended, or passed to another call).
+Discarding such a result with _ is always flagged. Leaked handles pin
+device-slab and buddy carve-out reservations for the process lifetime.`,
+	Run: runMustClose,
+}
+
+// closeableResult reports whether call yields a resource the analyzer
+// tracks, returning a label for diagnostics.
+func closeableResult(info *types.Info, call *ast.CallExpr) (string, bool) {
+	name := ""
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name, obj = fun.Name, info.Uses[fun]
+	case *ast.SelectorExpr:
+		name, obj = fun.Sel.Name, info.Uses[fun.Sel]
+	default:
+		return "", false
+	}
+	switch name {
+	case "Malloc", "NewPool":
+	case "New":
+		// pool.New — the package-qualified constructor behind NewPool.
+		if obj == nil || obj.Pkg() == nil || !(obj.Pkg().Path() == "pool" || strings.HasSuffix(obj.Pkg().Path(), "/pool")) {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	// The first result must actually be closeable; this keeps unrelated
+	// Malloc-named functions (no Close in their method set) out of scope.
+	sig, ok := resultSignature(info, call)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	if !hasCloseMethod(sig.Results().At(0).Type()) {
+		return "", false
+	}
+	return name, true
+}
+
+func resultSignature(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func hasCloseMethod(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Close")
+	f, ok := obj.(*types.Func)
+	return ok && f != nil
+}
+
+func runMustClose(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if inTestFile(posFile(pass, file.Pos())) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMustClose(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkMustClose(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		label, ok := closeableResult(info, call)
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(), "result of %s discarded; the handle must reach Close or Free to release its reservations", label)
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if !releasedOrEscapes(info, fd, obj) {
+			pass.Reportf(as.Pos(), "%s obtained from %s never reaches Close or Free and does not escape %s; its device and carve-out reservations leak",
+				id.Name, label, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// releasedOrEscapes scans the whole function (nested literals included,
+// so deferred closures and goroutines count) for a release of obj or an
+// escape that hands ownership elsewhere.
+func releasedOrEscapes(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && (info.Uses[id] == obj || info.Defs[id] == obj)
+	}
+	containsObj := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// x.Close() — or Free(x)/d.Free(x)-style transfer of x as an
+			// argument to any call, which either releases it or hands it
+			// to code that becomes responsible for it.
+			if sel, isSel := n.Fun.(*ast.SelectorExpr); isSel {
+				if (sel.Sel.Name == "Close" || sel.Sel.Name == "Free") && isObj(sel.X) {
+					ok = true
+					return false
+				}
+			}
+			// Only the handle itself as an argument transfers ownership;
+			// an expression derived from it (h.Shard() in a Printf call)
+			// does not.
+			for _, arg := range n.Args {
+				if isObj(arg) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if containsObj(r) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// Stored into anything other than a plain local: struct
+			// field, slice/map element, dereference or package-level var.
+			for i, rhs := range n.Rhs {
+				if !containsObj(rhs) {
+					continue
+				}
+				if i < len(n.Lhs) || len(n.Rhs) == 1 {
+					for _, lhs := range n.Lhs {
+						switch l := lhs.(type) {
+						case *ast.Ident:
+							if o := info.Uses[l]; o != nil && o.Pkg() != nil && o.Parent() == o.Pkg().Scope() {
+								ok = true // package-level variable
+							}
+						default:
+							ok = true
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if containsObj(el) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if containsObj(n.Value) {
+				ok = true
+				return false
+			}
+		}
+		return !ok
+	})
+	return ok
+}

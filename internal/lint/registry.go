@@ -1,0 +1,16 @@
+package lint
+
+import "buddy/internal/lint/analysis"
+
+// Analyzers returns the buddylint suite in reporting order. The registry
+// test pins this count against the fixture directories: a new analyzer
+// cannot ship without analysistest fixtures.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NoLegacy,
+		LockOrder,
+		HotPathAlloc,
+		SentinelErr,
+		MustClose,
+	}
+}

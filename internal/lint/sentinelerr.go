@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"buddy/internal/lint/analysis"
+)
+
+// SentinelErr enforces the sentinel-error discipline the exported
+// sentinels (core.ErrFreed, core.ErrOutOfMemory, compress.ErrCorrupt,
+// pool.ErrClosed, ...) are documented with: every layer wraps them with
+// %w and every caller matches them with errors.Is. Identity comparison
+// breaks as soon as one intermediate layer adds context, and a %v/%s
+// wrap severs the chain errors.Is walks.
+var SentinelErr = &analysis.Analyzer{
+	Name: "sentinelerr",
+	Doc: `require errors.Is and %w for sentinel errors
+
+Flags == and != comparisons (and switch cases) against package-level
+Err* sentinel variables — wrapped sentinels never compare equal; use
+errors.Is — and fmt.Errorf calls that format an error value with a verb
+other than %w, which severs the Unwrap chain the sentinels are matched
+through. Test files are exempt from the comparison rule.`,
+	Run: runSentinelErr,
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// sentinelObj returns the package-level Err* error variable behind e, nil
+// if e is anything else.
+func sentinelObj(info *types.Info, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || !types.Implements(obj.Type(), errorType) {
+		return nil
+	}
+	return obj
+}
+
+func runSentinelErr(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		testFile := inTestFile(posFile(pass, file.Pos()))
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if testFile || (n.Op != token.EQL && n.Op != token.NEQ) {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if obj := sentinelObj(pass.TypesInfo, side); obj != nil {
+						pass.Reportf(n.Pos(), "sentinel %s compared with %s; wrapped errors never compare equal, use errors.Is", obj.Name(), n.Op)
+					}
+				}
+			case *ast.SwitchStmt:
+				if testFile || n.Tag == nil {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if obj := sentinelObj(pass.TypesInfo, e); obj != nil {
+							pass.Reportf(e.Pos(), "sentinel %s matched by switch case identity; use errors.Is", obj.Name())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error-typed
+// argument with a verb other than %w.
+func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // indexed or otherwise exotic format; out of scope
+	}
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) || verb == 'w' {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[args[i]]
+		if !ok || tv.Type == nil || !types.Implements(tv.Type, errorType) {
+			continue
+		}
+		pass.Reportf(args[i].Pos(), "error formatted with %%%c severs the sentinel chain; wrap with %%w (or call .Error() if severing is intended)", verb)
+	}
+}
+
+// formatVerbs returns the verb letter consuming each successive argument
+// of a fmt format string, or ok=false when the string uses explicit
+// argument indexes or stars this simple scanner does not model.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	flagloop:
+		for ; i < len(format); i++ {
+			switch c := format[i]; {
+			case c == '%':
+				break flagloop // literal %%, consumes no argument
+			case c == '[' || c == '*':
+				return nil, false
+			case c >= '0' && c <= '9' || strings.ContainsRune("+-# .", rune(c)):
+				continue
+			default:
+				verbs = append(verbs, c)
+				break flagloop
+			}
+		}
+	}
+	return verbs, true
+}

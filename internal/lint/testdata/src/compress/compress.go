@@ -1,0 +1,35 @@
+// Package compress is a nolegacy fixture mimicking internal/compress:
+// declarations that grow the retired surface back are flagged, the Codec
+// surface is not.
+package compress
+
+// Codec is the supported single-pass surface; declaring and using it is
+// clean.
+type Codec interface {
+	AppendCompressed(dst, src []byte) []byte
+	DecompressInto(dst, src []byte) error
+}
+
+type Compressor interface { // want `the retired Compressor interface reappeared`
+	Compress(b []byte) []byte
+}
+
+type codec struct{}
+
+// The Codec methods are the supported surface: clean.
+
+func (codec) AppendCompressed(dst, src []byte) []byte { return append(dst, src...) }
+
+func (codec) DecompressInto(dst, src []byte) error { return nil }
+
+// The deleted allocate-per-call method set must stay deleted.
+
+func (codec) Compress(b []byte) []byte { return b } // want `method Compress re-declares the deleted legacy Compressor surface`
+
+func (codec) Decompress(b []byte) ([]byte, error) { return b, nil } // want `method Decompress re-declares the deleted legacy Compressor surface`
+
+func (codec) CompressedBits(b []byte) int { return 0 } // want `method CompressedBits re-declares the deleted legacy Compressor surface`
+
+// A free function with a legacy name is fine: only methods re-grow the
+// interface surface.
+func Compress(b []byte) []byte { return b }

@@ -1,0 +1,50 @@
+// Package hotpathalloc is the fixture for the //buddy:hotpath allocation
+// ban.
+package hotpathalloc
+
+import "fmt"
+
+type header struct {
+	n int
+}
+
+// process stands in for a codec inner loop: the steady state must not
+// allocate; the guarded error return is a cold path and exempt.
+//
+//buddy:hotpath
+func process(dst, src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("empty input") // cold path: exempt
+	}
+	buf := make([]byte, 4) // want `hotpath but calls make`
+	tmp := []byte{1, 2, 3} // want `allocates a \[\]byte literal`
+	h := &header{n: 1}     // want `heap-allocates &`
+	fmt.Println("hot")     // want `calls fmt\.Println`
+	s := string(src)       // want `converts between string and \[\]byte`
+	n := 0
+	f := func() { n++ } // want `closure capturing n`
+	f()
+	go f() // want `spawns a goroutine`
+	_, _, _ = tmp, h, s
+	return append(dst, buf...), nil
+}
+
+// unmarked allocates freely: clean.
+func unmarked() []byte {
+	return make([]byte, 4)
+}
+
+// worker shows the parallelSpan shape: the marker on the line above a
+// function literal marks the literal.
+func worker(run func(func(lo, hi int))) {
+	//buddy:hotpath
+	run(func(lo, hi int) {
+		p := new(int) // want `hotpath but calls new`
+		_ = p
+		for i := lo; i < hi; i++ {
+			if i < 0 {
+				panic("bad span") // cold path: exempt
+			}
+		}
+	})
+}

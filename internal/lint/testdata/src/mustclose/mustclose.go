@@ -1,0 +1,84 @@
+// Package mustclose is the fixture for the allocation-lifecycle check:
+// Malloc/NewPool results must reach Close or Free, or visibly escape.
+package mustclose
+
+type Handle struct{ open bool }
+
+func (h *Handle) Close() error { return nil }
+
+type Device struct{}
+
+func (d *Device) Malloc(name string, n int64) (*Handle, error) {
+	return &Handle{open: true}, nil
+}
+
+func (d *Device) Free(h *Handle) {}
+
+type Pool struct{}
+
+func (p *Pool) Close() error { return nil }
+
+func NewPool() (*Pool, error) { return &Pool{}, nil }
+
+// Leaked outright: never closed, never escapes.
+func leak(d *Device) {
+	h, err := d.Malloc("x", 1) // want `h obtained from Malloc never reaches Close or Free`
+	if err != nil {
+		return
+	}
+	_ = h.open
+}
+
+// Discarding the handle can never release it.
+func discard(d *Device) {
+	_, _ = d.Malloc("x", 1) // want `result of Malloc discarded`
+}
+
+// A pool is a resource too.
+func poolLeak() {
+	p, err := NewPool() // want `p obtained from NewPool never reaches Close or Free`
+	if err != nil {
+		return
+	}
+	_ = p
+}
+
+// Deferred close: clean.
+func closed(d *Device) error {
+	h, err := d.Malloc("x", 1)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	return nil
+}
+
+// Released through Device.Free with the handle as the argument: clean.
+func freed(d *Device) {
+	h, _ := d.Malloc("x", 1)
+	d.Free(h)
+}
+
+// Returning the handle hands ownership to the caller: clean.
+func handedOff(d *Device) (*Handle, error) {
+	h, err := d.Malloc("x", 1)
+	return h, err
+}
+
+// Storing into a structure the caller sees escapes: clean.
+func stored(d *Device, dst *[]*Handle) error {
+	h, err := d.Malloc("x", 1)
+	if err != nil {
+		return err
+	}
+	*dst = append(*dst, h)
+	return nil
+}
+
+// Closed from a deferred literal (nested literals are scanned): clean.
+func closedInDefer(d *Device) {
+	h, _ := d.Malloc("x", 1)
+	defer func() {
+		_ = h.Close()
+	}()
+}

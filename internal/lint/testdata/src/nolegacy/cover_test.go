@@ -1,0 +1,4 @@
+package nolegacy
+
+// Test files may cover the deprecated alias: clean.
+var testUse = WithCompressor

@@ -1,0 +1,17 @@
+// Package nolegacy is the fixture for references to the retired surface
+// from outside the compress package.
+package nolegacy
+
+import (
+	renamed "compress"
+)
+
+// Renaming the import does not dodge the type-aware check.
+var _ renamed.Compressor // want `reference to the retired compress\.Compressor interface`
+
+// The supported surface through the same renamed import is clean.
+var _ renamed.Codec
+
+// Using the deprecated alias away from its declaration (options.go) is
+// flagged.
+var legacyOpt = WithCompressor // want `WithCompressor used outside its deprecated alias declaration`

@@ -1,0 +1,7 @@
+package nolegacy
+
+// WithCompressor stands in for the deprecated alias in the real
+// options.go; references inside its declaring file are allowed.
+func WithCompressor() int { return 0 }
+
+var sameFileUse = WithCompressor

@@ -1,0 +1,6 @@
+package sentinelerr
+
+// Test files are exempt from the comparison rule: clean.
+func testCompare(err error) bool {
+	return err == ErrFrozen
+}

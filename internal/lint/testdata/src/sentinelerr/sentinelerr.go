@@ -1,0 +1,51 @@
+// Package sentinelerr is the fixture for the sentinel-error discipline:
+// errors.Is instead of identity, %w instead of %v.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrFrozen = errors.New("frozen")
+
+// Not Err-prefixed: outside the sentinel convention, identity comparison
+// is not flagged.
+var errLocal = errors.New("local")
+
+func compareEq(err error) bool {
+	return err == ErrFrozen // want `sentinel ErrFrozen compared with ==`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrFrozen // want `sentinel ErrFrozen compared with !=`
+}
+
+func compareSwitch(err error) string {
+	switch err {
+	case ErrFrozen: // want `sentinel ErrFrozen matched by switch case identity`
+		return "frozen"
+	}
+	return ""
+}
+
+func wrapSevered(err error) error {
+	return fmt.Errorf("load: %v", err) // want `error formatted with %v severs the sentinel chain`
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("load: %s", err) // want `error formatted with %s severs the sentinel chain`
+}
+
+// The blessed forms: errors.Is matching and %w wrapping.
+func matchClean(err error) error {
+	if errors.Is(err, ErrFrozen) {
+		return fmt.Errorf("load: %w", err)
+	}
+	return err
+}
+
+// Non-sentinel comparison and non-error formatting stay clean.
+func otherClean(err error, n int) (bool, error) {
+	return err == errLocal, fmt.Errorf("load %d: %s", n, err.Error())
+}
