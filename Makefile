@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix test race bench bench-json fuzz cover examples
+.PHONY: all build vet lint lint-fix test race bench bench-json bench-gate bench-baseline fuzz cover examples
 
 all: lint build test
 
@@ -87,6 +87,27 @@ bench:
 bench-json:
 	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime=1x -count=1 \
 		./internal/compress/ ./internal/core/ ./internal/analysis/ ./internal/exp/ ./internal/pool/ > BENCH_pr.json
+
+# The bench-gate pins per-codec and data-path ns/entry so a lost fast path
+# fails loudly instead of landing silently. BENCH_baseline.json holds the
+# pinned numbers (written by bench-baseline); bench-gate re-runs the same
+# benchmarks (min of -count 4 per benchmark) and fails when any pinned
+# benchmark runs slower than baseline x tolerance. Baselines are
+# machine-relative: after a deliberate perf trade-off, or on a new machine
+# class, re-pin with bench-baseline in a commit that says why. BENCH_TOL
+# overrides the tolerance for one run (CI uses a wider one to absorb shared
+# runner heterogeneity; a lost kernel fast path is a 2-15x cliff either way).
+BENCH_GATE_PKGS = ./internal/compress/ ./internal/core/
+BENCH_GATE_RX = 'BenchmarkAppendCompressed|BenchmarkDecompressInto|BenchmarkWriteEntry|BenchmarkReadEntry'
+BENCH_TOL ?=
+bench-gate:
+	$(GO) test -run '^$$' -bench $(BENCH_GATE_RX) -benchtime 100ms -count 4 $(BENCH_GATE_PKGS) \
+		| $(GO) run ./cmd/benchgate -baseline BENCH_baseline.json $(if $(BENCH_TOL),-tolerance $(BENCH_TOL))
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench $(BENCH_GATE_RX) -benchtime 100ms -count 4 $(BENCH_GATE_PKGS) \
+		| $(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -write \
+		  -note "make bench-baseline: min of 4 x 100ms per benchmark"
 
 # Short fuzz pass over all six codecs.
 fuzz:

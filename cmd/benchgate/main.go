@@ -1,0 +1,70 @@
+// benchgate compares `go test -bench` output on stdin against the pinned
+// ns/entry baseline, failing when a pinned benchmark regressed past
+// tolerance or disappeared. With -write it re-pins the baseline instead.
+//
+//	go test -run '^$' -bench . -count 3 ./internal/compress/ ./internal/core/ | benchgate -baseline BENCH_baseline.json
+//	go test -run '^$' -bench . -count 3 ./internal/compress/ ./internal/core/ | benchgate -baseline BENCH_baseline.json -write
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"buddy/internal/benchgate"
+)
+
+func main() {
+	var (
+		path  = flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or write)")
+		write = flag.Bool("write", false, "re-pin the baseline from this run instead of gating")
+		tol   = flag.Float64("tolerance", 0, "override the baseline's tolerance (0 = use the file's)")
+		note  = flag.String("note", "", "note stored with -write (how/where the baseline was measured)")
+	)
+	flag.Parse()
+
+	got, err := benchgate.ParseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("no ns/entry benchmark results on stdin — run with `go test -bench`"))
+	}
+
+	if *write {
+		t := *tol
+		if t <= 0 {
+			t = benchgate.DefaultTolerance
+		}
+		b := benchgate.Baseline{Note: *note, Tolerance: t, NsPerEntry: got}
+		if err := benchgate.WriteBaseline(*path, b); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: pinned %d benchmarks to %s (tolerance %.2fx)\n", len(got), *path, t)
+		return
+	}
+
+	base, err := benchgate.ReadBaseline(*path)
+	if err != nil {
+		fatal(err)
+	}
+	if *tol > 0 {
+		base.Tolerance = *tol
+	}
+	violations := benchgate.Compare(base, got)
+	if len(violations) == 0 {
+		fmt.Printf("benchgate: %d pinned benchmarks within tolerance\n", len(base.NsPerEntry))
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL %s\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: %d of %d pinned benchmarks regressed (re-pin deliberate trade-offs with `make bench-baseline`)\n",
+		len(violations), len(base.NsPerEntry))
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -40,6 +40,7 @@ func init() {
 			return err
 		}},
 		{Name: "fig3", Description: "per-snapshot BPC compression ratios per benchmark", Run: runFig3},
+		{Name: "sparse", Description: "per-codec compression ratio on sparse fp16 activations (cDMA's 50-90% zero class)", Run: runSparse},
 		{Name: "fig5b", Description: "metadata cache hit rate vs cache size", Run: func(w io.Writer, _ ExperimentScale) error { return runFig5b(w) }},
 		{Name: "fig6", Description: "spatial compressibility heat-maps", Run: runFig6},
 		{Name: "fig7", Description: "compression and buddy traffic: naive vs per-allocation vs final", Run: runFig7},
@@ -84,6 +85,24 @@ func runFig3(w io.Writer, sc ExperimentScale) error {
 	fmt.Fprint(w, exp.FormatTable([]string{"Benchmark", "Suite", "Mean", "Snapshots 0..9"}, rows))
 	_, err := fmt.Fprintf(w, "GMEAN_HPC %.2f (paper 2.51)   GMEAN_DL %.2f (paper 1.85)\n",
 		res.GMeanHPC, res.GMeanDL)
+	return err
+}
+
+func runSparse(w io.Writer, sc ExperimentScale) error {
+	res := exp.SparseSweep(sc.Workload, nil)
+	header := []string{"Codec"}
+	for _, zf := range res.ZeroFracs {
+		header = append(header, fmt.Sprintf("%d%% zero", int(zf*100)))
+	}
+	rows := [][]string{}
+	for _, r := range res.Rows {
+		cells := []string{r.Codec}
+		for _, ratio := range r.Ratios {
+			cells = append(cells, fmt.Sprintf("%.2f", ratio))
+		}
+		rows = append(rows, cells)
+	}
+	_, err := fmt.Fprint(w, exp.FormatTable(header, rows))
 	return err
 }
 

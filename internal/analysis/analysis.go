@@ -212,14 +212,21 @@ func Build(s *memory.Snapshot, c compress.Codec) *Index {
 }
 
 // classify fills one task's span: one encode per entry yields the exact
-// bit count, from which the sector class and byte size both derive.
+// bit count, from which the sector class and byte size both derive. The
+// all-zero probe runs first and answers both the zero flag and (via the
+// Sizer's precomputed zero-entry size) the bit count, so zero-dominated
+// snapshots never enter a codec.
 func classify(t buildTask, sz *compress.Sizer) {
 	for i := t.lo; i < t.hi; i++ {
 		e := t.a.Entry(i)
-		bits := sz.Bits(e)
-		cl := uint8(compress.SectorsForBits(bits))
-		if isZero(e) {
-			cl |= zeroFlag
+		var bits int
+		var cl uint8
+		if compress.EntryAllZero(e) {
+			bits = sz.ZeroBits()
+			cl = uint8(compress.SectorsForBits(bits)) | zeroFlag
+		} else {
+			bits = sz.Bits(e)
+			cl = uint8(compress.SectorsForBits(bits))
 		}
 		t.idx.class[i] = cl
 		t.idx.size[i] = uint8((bits + 7) / 8)
@@ -239,15 +246,6 @@ func (a *AllocIndex) summarize() {
 			a.pageMax[p] = cl
 		}
 	}
-}
-
-func isZero(e []byte) bool {
-	for _, b := range e {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
 }
 
 // BuildRun indexes every snapshot of a run under codec c.

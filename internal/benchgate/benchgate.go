@@ -1,0 +1,154 @@
+// Package benchgate pins codec and data-path benchmark results so a perf
+// regression fails CI instead of landing silently. The gate works on the
+// ns/entry metric the compress/core benchmarks report: `make bench-baseline`
+// records the current machine's numbers into BENCH_baseline.json, and `make
+// bench-gate` re-runs the same benchmarks and fails when any pinned
+// benchmark runs slower than baseline x tolerance.
+//
+// Baselines are machine-relative: the ceilings pin a ratio, not an absolute
+// truth, so a new machine (or a deliberate trade-off) re-pins with
+// bench-baseline in the same commit that explains why.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultTolerance is the slowdown ratio the gate allows before failing:
+// enough headroom for scheduler and turbo jitter on a quiet machine, far
+// below the 2x+ cliffs that losing a fast path causes.
+const DefaultTolerance = 1.3
+
+// Baseline is the pinned benchmark state stored in BENCH_baseline.json.
+type Baseline struct {
+	// Note documents how the baseline was produced (command, machine hint).
+	Note string `json:"note,omitempty"`
+	// Tolerance is the allowed got/pinned ratio before the gate fails.
+	Tolerance float64 `json:"tolerance"`
+	// NsPerEntry maps benchmark name (without the "Benchmark" prefix and
+	// -GOMAXPROCS suffix) to its pinned ns/entry.
+	NsPerEntry map[string]float64 `json:"ns_per_entry"`
+}
+
+// ParseBench extracts ns/entry metrics from `go test -bench` output. Lines
+// without a ns/entry metric are ignored. Repeated runs of one benchmark
+// (-count N) collapse to the minimum — the standard de-noising for a gate
+// that asks "can this code still run this fast", not "what is typical".
+func ParseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := out[name]; !seen || ns < prev {
+			out[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine pulls (name, ns/entry) out of one benchmark result line, e.g.
+//
+//	BenchmarkWriteEntry/sparse90-8  3822  312.5 ns/op  409 MB/s  312.1 ns/entry
+func parseLine(line string) (string, float64, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i < len(f); i++ {
+		if f[i] != "ns/entry" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[i-1], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if cut := strings.LastIndex(name, "-"); cut >= 0 {
+			// The trailing -N is the GOMAXPROCS suffix, not part of the name.
+			if _, err := strconv.Atoi(name[cut+1:]); err == nil {
+				name = name[:cut]
+			}
+		}
+		return name, ns, true
+	}
+	return "", 0, false
+}
+
+// Violation is one benchmark that failed the gate.
+type Violation struct {
+	Name      string
+	Pinned    float64 // baseline ns/entry
+	Got       float64 // measured ns/entry (0 when the benchmark went missing)
+	Tolerance float64 // the ratio limit the comparison used
+}
+
+func (v Violation) String() string {
+	if v.Got == 0 {
+		return fmt.Sprintf("%s: pinned at %.1f ns/entry but missing from this run", v.Name, v.Pinned)
+	}
+	return fmt.Sprintf("%s: %.1f ns/entry exceeds pinned %.1f x tolerance %.2f (limit %.1f)",
+		v.Name, v.Got, v.Pinned, v.Tolerance, v.Pinned*v.Tolerance)
+}
+
+// Compare checks measured results against the baseline. Every pinned
+// benchmark must be present and within tolerance; benchmarks that only
+// exist in got (new benchmarks, not yet pinned) pass — they join the
+// baseline at the next bench-baseline. Violations come back sorted by name.
+func Compare(base Baseline, got map[string]float64) []Violation {
+	tol := base.Tolerance
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	var out []Violation
+	for name, pinned := range base.NsPerEntry {
+		ns, ok := got[name]
+		if !ok {
+			out = append(out, Violation{Name: name, Pinned: pinned, Tolerance: tol})
+			continue
+		}
+		if ns > pinned*tol {
+			out = append(out, Violation{Name: name, Pinned: pinned, Got: ns, Tolerance: tol})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if len(b.NsPerEntry) == 0 {
+		return b, fmt.Errorf("benchgate: %s pins no benchmarks", path)
+	}
+	return b, nil
+}
+
+// WriteBaseline stores the baseline with stable key order for reviewable
+// diffs.
+func WriteBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,159 @@
+package benchgate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"buddy/internal/compress"
+	"buddy/internal/gen"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: buddy/internal/compress
+BenchmarkAppendCompressed/bpc/zeros-8    	 5000000	        41.2 ns/op	3105.43 MB/s	         0 B/op	        43.0 ns/entry
+BenchmarkAppendCompressed/bpc/zeros-8    	 5000000	        39.9 ns/op	3105.43 MB/s	         0 B/op	        39.5 ns/entry
+BenchmarkAppendCompressed/bpc/dense-8    	 1000000	       480.0 ns/op	 266.61 MB/s	         0 B/op	       481.2 ns/entry
+BenchmarkWriteEntry/sparse90-8           	 3000000	       340.1 ns/op	 376.41 MB/s	       341.0 ns/entry
+BenchmarkWriteAtBulk-8                   	     100	    401222 ns/op	1024.00 MB/s
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"AppendCompressed/bpc/zeros": 39.5, // min of the two -count runs
+		"AppendCompressed/bpc/dense": 481.2,
+		"WriteEntry/sparse90":        341.0,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Baseline{
+		Tolerance: 1.3,
+		NsPerEntry: map[string]float64{
+			"AppendCompressed/bpc/zeros": 40,
+			"WriteEntry/sparse90":        300,
+			"WriteEntry/zeros":           100,
+		},
+	}
+	got := map[string]float64{
+		"AppendCompressed/bpc/zeros": 51,  // 1.275x: within tolerance
+		"WriteEntry/sparse90":        400, // 1.33x: regression
+		// WriteEntry/zeros missing entirely
+		"AppendCompressed/bpc/new": 10, // unpinned: ignored
+	}
+	vs := Compare(base, got)
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+	if vs[0].Name != "WriteEntry/sparse90" || vs[0].Got != 400 {
+		t.Errorf("violation 0 = %v", vs[0])
+	}
+	if vs[1].Name != "WriteEntry/zeros" || vs[1].Got != 0 {
+		t.Errorf("violation 1 = %v (want missing-benchmark violation)", vs[1])
+	}
+	if !strings.Contains(vs[1].String(), "missing") {
+		t.Errorf("missing-benchmark violation prints %q", vs[1].String())
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	in := Baseline{Note: "test", Tolerance: 1.3, NsPerEntry: map[string]float64{"A/b": 1.5}}
+	if err := WriteBaseline(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Note != in.Note || out.Tolerance != in.Tolerance || out.NsPerEntry["A/b"] != 1.5 {
+		t.Fatalf("round-trip mismatch: %+v", out)
+	}
+	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("reading a missing baseline should fail")
+	}
+}
+
+// slowBPC wraps the real BPC codec with a deliberate per-entry stall — the
+// regression the gate exists to catch (e.g. losing the word-view kernel and
+// falling back to per-bit encoding).
+type slowBPC struct{ compress.BPC }
+
+func (s slowBPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
+	deadline := time.Now().Add(5 * time.Microsecond)
+	for time.Now().Before(deadline) {
+	}
+	return s.BPC.AppendCompressed(dst, entry)
+}
+
+// TestGateCatchesSlowedCodec demonstrates the bench-gate end to end: measure
+// the real kernel, pin it, deliberately slow the codec down past tolerance,
+// re-measure, and require the comparator to fail. This is the in-tree proof
+// that `make bench-gate` rejects a real perf regression, without depending
+// on the absolute speed of the machine running the tests.
+func TestGateCatchesSlowedCodec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent demonstration")
+	}
+	entry := make([]byte, compress.EntryBytes)
+	gen.SparseFP16{ZeroFrac: 0.9}.Fill(entry, gen.NewRNG(7, 1))
+
+	once := func(c compress.Codec) float64 {
+		scratch := make([]byte, 0, compress.MaxStreamBytes)
+		const n = 3000
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			stream, _ := c.AppendCompressed(scratch[:0], entry)
+			scratch = stream[:0]
+		}
+		return float64(time.Since(start).Nanoseconds()) / n
+	}
+
+	// Two interleaved min-of-5 series of the SAME healthy codec: the pin and
+	// the gated run share every machine phase, so the healthy check cannot be
+	// failed by load spikes — only a genuine code slowdown separates them.
+	var pinned, healthy float64
+	once(compress.NewBPC()) // warm-up
+	for rep := 0; rep < 5; rep++ {
+		if ns := once(compress.NewBPC()); pinned == 0 || ns < pinned {
+			pinned = ns
+		}
+		if ns := once(compress.NewBPC()); healthy == 0 || ns < healthy {
+			healthy = ns
+		}
+	}
+	base := Baseline{Tolerance: 1.3, NsPerEntry: map[string]float64{"AppendCompressed/bpc/sparse90": pinned}}
+
+	if vs := Compare(base, map[string]float64{"AppendCompressed/bpc/sparse90": healthy}); len(vs) != 0 {
+		t.Fatalf("healthy codec failed its own gate: %v (flaky machine?)", vs)
+	}
+
+	// The deliberate ~5 us/entry stall is a >10x regression — far past any
+	// machine jitter, the shape of losing a kernel fast path entirely.
+	slowed := 0.0
+	for rep := 0; rep < 3; rep++ {
+		if ns := once(slowBPC{}); slowed == 0 || ns < slowed {
+			slowed = ns
+		}
+	}
+	vs := Compare(base, map[string]float64{"AppendCompressed/bpc/sparse90": slowed})
+	if len(vs) != 1 {
+		t.Fatalf("slowed codec (%.0f ns vs pinned %.0f ns) passed the gate", slowed, pinned)
+	}
+	t.Logf("gate caught the slowdown: %s", vs[0])
+}

@@ -20,6 +20,15 @@ import "encoding/binary"
 //	 6  2B    1B     64   -> 2 + 8 + 64 = 74
 //	 7  8B    4B     16   -> 8 + 2 + 64 = 74
 //	15  raw               -> 128
+//
+// The kernel works on the 64-bit word view: elements are sliced out of
+// sixteen loaded words, the range test is one branchless add-and-mask per
+// element, the mask bits accumulate into a single register emitted with one
+// WriteBits, and deltas pack 64 bits at a time (every encoding's delta width
+// divides 64 and no entry word straddles a pack boundary). An all-zero
+// 64-bit word short-circuits all of its elements at once — they are
+// immediates with delta zero — so sparse entries are classified in time
+// proportional to their non-zero words.
 type BDI struct{}
 
 // NewBDI returns the Base-Delta-Immediate codec.
@@ -52,29 +61,51 @@ func bdiPayloadBits(e bdiEncoding) int {
 // bdiMaxElems is the element count of the narrowest base (2 B): 64.
 const bdiMaxElems = EntryBytes / 2
 
-// bdiScratch holds one encoding attempt's element assignments; fixed-size
-// arrays keep the encode allocation-free.
-type bdiScratch struct {
-	base   uint64
-	mask   [bdiMaxElems]bool
-	deltas [bdiMaxElems]uint64
+// bdiChunks is the largest packed-delta word count across encodings
+// (64 elements x 8 delta bits, or 16 x 32 = 512 bits = 8 words).
+const bdiChunks = 8
+
+// bdiParams is one encoding's precomputed kernel geometry.
+type bdiParams struct {
+	id        uint8
+	baseBits  int    // base width in bits
+	deltaBits int    // delta width in bits
+	elems     int    // elements per entry
+	epw       int    // elements per 64-bit entry word
+	elemShift uint   // element width in bits (log-free shift amount)
+	elemMask  uint64 // low elemShift bits (all-ones for 64-bit elements)
+	deltaMask uint64 // low deltaBits bits
+	lim       uint64 // 1 << (deltaBits-1): signed range is [-lim, lim)
+	perChunk  int    // deltas per packed 64-bit chunk
 }
 
-func bdiElem(entry []byte, baseBytes, i int) uint64 {
-	switch baseBytes {
-	case 2:
-		return uint64(binary.LittleEndian.Uint16(entry[i*2:]))
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(entry[i*4:]))
-	default:
-		return binary.LittleEndian.Uint64(entry[i*8:])
+var bdiParamTable []bdiParams
+
+// bdiParamByID maps encoding ID to its bdiParams, nil for invalid IDs.
+var bdiParamByID [16]*bdiParams
+
+func init() {
+	bdiParamTable = make([]bdiParams, len(bdiEncodings))
+	for i, e := range bdiEncodings {
+		elemBits := e.baseBytes * 8
+		mask := ^uint64(0)
+		if elemBits < 64 {
+			mask = 1<<uint(elemBits) - 1
+		}
+		bdiParamTable[i] = bdiParams{
+			id:        e.id,
+			baseBits:  elemBits,
+			deltaBits: e.deltaBits,
+			elems:     EntryBytes / e.baseBytes,
+			epw:       8 / e.baseBytes,
+			elemShift: uint(elemBits),
+			elemMask:  mask,
+			deltaMask: 1<<uint(e.deltaBits) - 1,
+			lim:       1 << uint(e.deltaBits-1),
+			perChunk:  64 / e.deltaBits,
+		}
+		bdiParamByID[e.id] = &bdiParamTable[i]
 	}
-}
-
-func signedFits(v uint64, width, deltaBits int) bool {
-	sv := signExtend(v, width*8)
-	lim := int64(1) << uint(deltaBits-1)
-	return sv >= -lim && sv < lim
 }
 
 func signExtend(v uint64, bits int) int64 {
@@ -82,50 +113,68 @@ func signExtend(v uint64, bits int) int64 {
 	return int64(v<<shift) >> shift
 }
 
-// bdiTry reports whether encoding e can represent entry, filling st with the
-// base and per-element (useZeroBase, delta) assignments.
-func bdiTry(entry []byte, e bdiEncoding, st *bdiScratch) bool {
-	elems := EntryBytes / e.baseBytes
-	haveBase := false
-	st.base = 0
-	for i := 0; i < elems; i++ {
-		v := bdiElem(entry, e.baseBytes, i)
-		if signedFits(v, e.baseBytes, e.deltaBits) {
-			st.mask[i] = true // immediate: relative to zero base
-			st.deltas[i] = v
+// bdiTryWords attempts encoding p over the word view. On success it returns
+// true with the base value, the mask register (element 0 at the MSB end of
+// the low p.elems bits), and the packed delta chunks (element 0 at the MSB
+// of chunk 0) ready for bulk emission.
+//
+//buddy:hotpath
+func bdiTryWords(w *[entryWordCount]uint64, p *bdiParams, base, maskOut *uint64, chunks *[bdiChunks]uint64) bool {
+	var (
+		b        uint64
+		haveBase bool
+		mask     uint64
+		chunk    uint64
+		fill     int
+		ci       int
+	)
+	wordBits := uint(p.epw * p.deltaBits)
+	for k := 0; k < entryWordCount; k++ {
+		w64 := w[k]
+		if w64 == 0 {
+			// Every element of a zero word is an immediate with delta 0.
+			mask = mask<<uint(p.epw) | (1<<uint(p.epw) - 1)
+			chunk <<= wordBits
+			fill += p.epw
+			if fill == p.perChunk {
+				chunks[ci] = chunk
+				ci++
+				chunk, fill = 0, 0
+			}
 			continue
 		}
-		st.mask[i] = false
-		if !haveBase {
-			st.base = v
-			haveBase = true
+		// Elements are little-endian within the word: element 0 occupies the
+		// low bits, so walk a shifting copy from the bottom up.
+		rem := w64
+		for e := 0; e < p.epw; e++ {
+			v := rem & p.elemMask
+			rem >>= p.elemShift % 64 // shift 64 is a no-op for 1-elem words
+			var d uint64
+			if (v+p.lim)&p.elemMask < p.lim<<1 {
+				mask = mask<<1 | 1 // immediate: relative to zero base
+				d = v
+			} else {
+				if !haveBase {
+					b, haveBase = v, true
+				}
+				d = v - b
+				if (d+p.lim)&p.elemMask >= p.lim<<1 {
+					return false
+				}
+				mask <<= 1
+			}
+			chunk = chunk<<uint(p.deltaBits) | d&p.deltaMask
+			fill++
+			if fill == p.perChunk {
+				chunks[ci] = chunk
+				ci++
+				chunk, fill = 0, 0
+			}
 		}
-		d := v - st.base
-		if !signedFits(d, e.baseBytes, e.deltaBits) {
-			return false
-		}
-		st.deltas[i] = d
 	}
+	*base = b
+	*maskOut = mask
 	return true
-}
-
-func bdiAllZero(entry []byte) bool {
-	for _, b := range entry {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-func bdiRepeated8(entry []byte) (uint64, bool) {
-	v := binary.LittleEndian.Uint64(entry)
-	for i := 8; i < EntryBytes; i += 8 {
-		if binary.LittleEndian.Uint64(entry[i:]) != v {
-			return 0, false
-		}
-	}
-	return v, true
 }
 
 // AppendCompressed implements Codec. BDI carries no separate framing bit —
@@ -140,33 +189,39 @@ func (BDI) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	start := len(dst)
 	var w BitWriter
 	w.Reset(dst)
-	switch {
-	case bdiAllZero(entry):
-		w.WriteBits(0, 4)
-	default:
-		if v, ok := bdiRepeated8(entry); ok {
-			w.WriteBits(1, 4)
-			w.WriteBits(v, 64)
-			break
+
+	var wv [entryWordCount]uint64
+	loadWords(entry, &wv)
+
+	rep := true
+	or := wv[0]
+	for i := 1; i < entryWordCount; i++ {
+		or |= wv[i]
+		if wv[i] != wv[0] {
+			rep = false
 		}
-		var st bdiScratch
+	}
+	switch {
+	case or == 0:
+		w.WriteBits(0, 4)
+	case rep:
+		w.WriteBits(1, 4)
+		w.WriteBits(wv[0], 64)
+	default:
 		done := false
-		for _, e := range bdiEncodings {
-			if !bdiTry(entry, e, &st) {
+		var base, mask uint64
+		var chunks [bdiChunks]uint64
+		for i := range bdiParamTable {
+			p := &bdiParamTable[i]
+			if !bdiTryWords(&wv, p, &base, &mask, &chunks) {
 				continue
 			}
-			elems := EntryBytes / e.baseBytes
-			w.WriteBits(uint64(e.id), 4)
-			w.WriteBits(st.base, e.baseBytes*8)
-			for i := 0; i < elems; i++ {
-				if st.mask[i] {
-					w.WriteBits(1, 1)
-				} else {
-					w.WriteBits(0, 1)
-				}
-			}
-			for i := 0; i < elems; i++ {
-				w.WriteBits(st.deltas[i], e.deltaBits)
+			w.WriteBits(uint64(p.id), 4)
+			w.WriteBits(base, p.baseBits)
+			w.WriteBits(mask, p.elems)
+			n := p.elems * p.deltaBits / 64
+			for c := 0; c < n; c++ {
+				w.WriteBits(chunks[c], 64)
 			}
 			done = true
 			break
@@ -183,7 +238,11 @@ func (BDI) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	return w.Bytes(), bits
 }
 
-// DecompressInto implements Codec.
+// DecompressInto implements Codec. The reader mirrors the packed layout: one
+// ReadBits for the mask, 64-bit chunk reads for the deltas, elements
+// assembled into the word view and stored in one pass. The consumed bit
+// count per encoding is identical to per-element reads, so truncation
+// surfaces through Overrun exactly as before.
 //
 //buddy:hotpath
 func (BDI) DecompressInto(dst, comp []byte) error {
@@ -201,37 +260,33 @@ func (BDI) DecompressInto(dst, comp []byte) error {
 	case 15:
 		return decodeRawEntry(dst, r)
 	default:
-		var enc *bdiEncoding
-		for i := range bdiEncodings {
-			if bdiEncodings[i].id == id {
-				enc = &bdiEncodings[i]
-				break
-			}
-		}
-		if enc == nil {
+		p := bdiParamByID[id]
+		if p == nil {
 			return ErrCorrupt
 		}
-		elems := EntryBytes / enc.baseBytes
-		base := r.ReadBits(enc.baseBytes * 8)
-		var mask [bdiMaxElems]bool
-		for i := 0; i < elems; i++ {
-			mask[i] = r.ReadBits(1) == 1
-		}
-		for i := 0; i < elems; i++ {
-			d := uint64(signExtend(r.ReadBits(enc.deltaBits), enc.deltaBits))
-			v := d
-			if !mask[i] {
-				v = base + d
+		base := r.ReadBits(p.baseBits)
+		mask := r.ReadBits(p.elems)
+		var wv [entryWordCount]uint64
+		i := 0 // element index
+		var w64 uint64
+		n := p.elems * p.deltaBits / 64
+		for c := 0; c < n; c++ {
+			chunk := r.ReadBits(64)
+			for j := p.perChunk - 1; j >= 0; j-- {
+				d := uint64(signExtend(chunk>>uint(j*p.deltaBits), p.deltaBits))
+				if mask>>uint(p.elems-1-i)&1 == 0 {
+					d += base
+				}
+				// Element i lands in the low-to-high slot of its entry word.
+				w64 |= (d & p.elemMask) << (uint(i%p.epw) * p.elemShift % 64)
+				i++
+				if i%p.epw == 0 {
+					wv[i/p.epw-1] = w64
+					w64 = 0
+				}
 			}
-			switch enc.baseBytes {
-			case 2:
-				binary.LittleEndian.PutUint16(dst[i*2:], uint16(v))
-			case 4:
-				binary.LittleEndian.PutUint32(dst[i*4:], uint32(v))
-			default:
-				binary.LittleEndian.PutUint64(dst[i*8:], v)
-			}
 		}
+		storeWords(dst, &wv)
 	}
 	if r.Overrun() {
 		return ErrCorrupt

@@ -6,49 +6,83 @@ import (
 	"buddy/internal/gen"
 )
 
-// Codec micro-benchmarks: the single-pass surface per algorithm, on a
-// GPU-typical FP64 field (the same data shape as the §2.4 comparison).
-// Steady state must report 0 B/op — the pooled-scratch contract the core
-// data path relies on.
+// Codec micro-benchmarks over a matrix of entry shapes rather than a single
+// data point: all-zero entries (the one-probe short-circuit), 90%/70%-sparse
+// fp16 activations (the zero-run pre-pass the cDMA sparsity numbers
+// motivate), dense random (worst case, raw fallback), a patterned ramp
+// (best case for delta codecs) and the noisy FP64 field the original
+// single-shape benchmark used. Steady state must report 0 B/op — the
+// pooled-scratch contract the core data path relies on — and every run
+// reports ns/entry, the quantity BENCH_baseline.json pins for `make
+// bench-gate`.
 
-func benchEntry(b *testing.B) []byte {
-	b.Helper()
-	entry := make([]byte, EntryBytes)
-	gen.Noisy64{NoiseBits: 8, HiStep: 1}.Fill(entry, gen.NewRNG(1, 1))
-	return entry
+type benchShape struct {
+	name string
+	g    gen.Generator
 }
 
-// BenchmarkAppendCompressed measures one full encode (stream + exact bits)
-// per entry with a reused scratch buffer.
-func BenchmarkAppendCompressed(b *testing.B) {
-	entry := benchEntry(b)
-	for _, c := range Registry() {
-		b.Run(c.Name(), func(b *testing.B) {
-			scratch := make([]byte, 0, MaxStreamBytes)
-			b.SetBytes(EntryBytes)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				stream, _ := c.AppendCompressed(scratch[:0], entry)
-				scratch = stream[:0]
-			}
-		})
+func benchShapes() []benchShape {
+	return []benchShape{
+		{"zeros", gen.Zeros{}},
+		{"sparse90", gen.SparseFP16{ZeroFrac: 0.9}},
+		{"sparse70", gen.SparseFP16{ZeroFrac: 0.7}},
+		{"dense", gen.Random{}},
+		{"pattern", gen.Ramp{Start: -100, Step: 3}},
+		{"noisy64", gen.Noisy64{NoiseBits: 8, HiStep: 1}},
 	}
 }
 
-// BenchmarkDecompressInto measures one full decode into caller memory.
+func shapeEntry(b *testing.B, s benchShape) []byte {
+	b.Helper()
+	entry := make([]byte, EntryBytes)
+	s.g.Fill(entry, gen.NewRNG(1, 1))
+	return entry
+}
+
+func reportNsPerEntry(b *testing.B) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/entry")
+}
+
+// BenchmarkAppendCompressed measures one full encode (stream + exact bits)
+// per entry with a reused scratch buffer, per codec per shape.
+func BenchmarkAppendCompressed(b *testing.B) {
+	for _, c := range Registry() {
+		for _, s := range benchShapes() {
+			b.Run(c.Name()+"/"+s.name, func(b *testing.B) {
+				entry := shapeEntry(b, s)
+				scratch := make([]byte, 0, MaxStreamBytes)
+				b.SetBytes(EntryBytes)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					stream, _ := c.AppendCompressed(scratch[:0], entry)
+					scratch = stream[:0]
+				}
+				reportNsPerEntry(b)
+			})
+		}
+	}
+}
+
+// BenchmarkDecompressInto measures one full decode into caller memory, per
+// codec per shape.
 func BenchmarkDecompressInto(b *testing.B) {
-	entry := benchEntry(b)
 	dst := make([]byte, EntryBytes)
 	for _, c := range Registry() {
-		b.Run(c.Name(), func(b *testing.B) {
-			stream, _ := c.AppendCompressed(nil, entry)
-			b.SetBytes(EntryBytes)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := c.DecompressInto(dst, stream); err != nil {
-					b.Fatal(err)
+		for _, s := range benchShapes() {
+			b.Run(c.Name()+"/"+s.name, func(b *testing.B) {
+				entry := shapeEntry(b, s)
+				stream, _ := c.AppendCompressed(nil, entry)
+				b.SetBytes(EntryBytes)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.DecompressInto(dst, stream); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+				reportNsPerEntry(b)
+			})
+		}
 	}
 }

@@ -1,5 +1,7 @@
 package compress
 
+import "encoding/binary"
+
 // BitWriter accumulates a big-endian bit stream. Compressors use it to
 // produce the exact encoded bit layout, so compressed sizes are bit-accurate
 // rather than estimated.
@@ -31,6 +33,8 @@ func (w *BitWriter) Reset(dst []byte) {
 }
 
 // WriteBits appends the low n bits of v, most-significant bit first.
+//
+//buddy:hotpath
 func (w *BitWriter) WriteBits(v uint64, n int) {
 	if n <= 0 {
 		return
@@ -50,10 +54,15 @@ func (w *BitWriter) WriteBits(v uint64, n int) {
 		w.nbit += space
 		n -= space
 	}
-	for n >= 8 {
-		n -= 8
-		w.buf = append(w.buf, byte(v>>uint(n)))
-		w.nbit += 8
+	if n >= 8 {
+		// Whole bytes land in one append: left-align the remaining bits so
+		// the top k bytes of the shifted word are the stream bytes in order.
+		var tmp [8]byte
+		k := n >> 3
+		binary.BigEndian.PutUint64(tmp[:], v<<uint(64-n))
+		w.buf = append(w.buf, tmp[:k]...)
+		w.nbit += k * 8
+		n &= 7
 	}
 	if n > 0 {
 		w.buf = append(w.buf, byte(v<<uint(8-n)))
@@ -61,12 +70,21 @@ func (w *BitWriter) WriteBits(v uint64, n int) {
 	}
 }
 
-// WriteBytes appends all of p, 8 bits per byte.
+// WriteBytes appends all of p, 8 bits per byte. Byte-aligned writers take
+// the plain append; unaligned writers (the raw-fallback path behind every
+// codec's 1-bit framing flag) move 8-byte words per step instead of single
+// bytes.
+//
+//buddy:hotpath
 func (w *BitWriter) WriteBytes(p []byte) {
 	if w.nbit&7 == 0 {
 		w.buf = append(w.buf, p...)
 		w.nbit += len(p) * 8
 		return
+	}
+	for len(p) >= 8 {
+		w.WriteBits(binary.BigEndian.Uint64(p), 64)
+		p = p[8:]
 	}
 	for _, b := range p {
 		w.WriteBits(uint64(b), 8)
@@ -116,6 +134,54 @@ func (r *BitReader) ReadBits(n int) uint64 {
 		n -= take
 	}
 	return v
+}
+
+// PeekBits returns the next n bits without consuming them, zero-filled past
+// the end of the buffer like ReadBits. Decoders pair it with Skip to resolve
+// variable-length prefix codes with one table probe.
+//
+//buddy:hotpath
+func (r *BitReader) PeekBits(n int) uint64 {
+	pos := r.pos
+	v := r.ReadBits(n)
+	r.pos = pos
+	return v
+}
+
+// Skip consumes n bits without returning them.
+//
+//buddy:hotpath
+func (r *BitReader) Skip(n int) { r.pos += n }
+
+// ReadBytes fills dst with the next len(dst)*8 bits, the read-side mirror of
+// WriteBytes. Byte-aligned readers take one copy (zero-filling past the end
+// of the buffer, like ReadBits); unaligned readers stitch each output byte
+// from two adjacent stream bytes instead of re-walking bit chunks.
+//
+//buddy:hotpath
+func (r *BitReader) ReadBytes(dst []byte) {
+	off := r.pos & 7
+	byteIdx := r.pos >> 3
+	r.pos += len(dst) * 8
+	if off == 0 {
+		n := copy(dst, r.buf[min(byteIdx, len(r.buf)):])
+		for i := n; i < len(dst); i++ {
+			dst[i] = 0
+		}
+		return
+	}
+	cur := uint64(0)
+	if byteIdx < len(r.buf) {
+		cur = uint64(r.buf[byteIdx])
+	}
+	for i := range dst {
+		next := uint64(0)
+		if byteIdx+1+i < len(r.buf) {
+			next = uint64(r.buf[byteIdx+1+i])
+		}
+		dst[i] = byte(cur<<uint(off) | next>>uint(8-off))
+		cur = next
+	}
 }
 
 // Pos returns the number of bits consumed.

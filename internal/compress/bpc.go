@@ -30,6 +30,22 @@ import (
 // carried by the per-entry metadata in hardware, so the reported bit count
 // is min(encoded, 1024) and the 1-bit stream framing is an implementation
 // detail of this software model.
+//
+// The kernel never materializes the 33x31 transpose. The load-bearing
+// identity is that DBX plane b equals bit-plane b of the per-delta
+// transition masks e = d ^ (d>>1): a delta contributes a 1 to DBX plane b
+// exactly where its bits b and b+1 differ (and dbp[33] == 0 makes the top
+// plane fall out of the same expression). Three 33-bit aggregates then
+// classify most planes without touching individual deltas —
+//
+//	or of all e   bit b == 0  <=>  DBX plane b is all-zero (run codes)
+//	and of all e  bit b == 1  <=>  DBX plane b is all-ones
+//	or of all d   bit b == 0  <=>  DBP plane b is zero
+//
+// — and only planes needing the two-ones/single-one/raw discrimination
+// gather actual plane bits, looping over just the non-zero deltas. Sparse
+// entries (runs of equal words) drop out of the delta list up front, so the
+// per-plane work is proportional to the entry's non-zero structure.
 type BPC struct{}
 
 // NewBPC returns the Bit-Plane Compression codec.
@@ -44,49 +60,63 @@ const (
 	bpcPlanes  = 33             // 33-bit deltas -> 33 bit-planes
 	bpcRawBits = EntryBytes * 8
 	allOnes31  = (uint32(1) << bpcDeltas) - 1
+	bpcMask33  = (uint64(1) << bpcPlanes) - 1
 )
 
-// bpcPlanesOf computes the base word and the 33 delta-bit-planes of entry.
-func bpcPlanesOf(entry []byte) (base uint32, dbp [bpcPlanes + 1]uint32) {
-	var words [bpcWords]uint32
-	for i := 0; i < bpcWords; i++ {
-		words[i] = binary.LittleEndian.Uint32(entry[i*4:])
+// bpcStreamWords sizes the stack register buffer the encoder emits into.
+// The worst case stream is 1 frame bit + a 33-bit base code + 33 raw planes
+// (1090 bits), under 18x64 — so the emission loop needs no overflow check at
+// all, and the single raw-vs-compressed decision happens once at the end.
+const bpcStreamWords = 18
+
+// bpcPut appends the low n bits of v (MSB first) to the register buffer at
+// bit cursor pos and returns the advanced cursor. One shift-or when the code
+// fits the current word, two when it spills — no length tracking, no byte
+// appends, which is what lets the encoder skip the BitWriter entirely until
+// the final bulk store.
+//
+//buddy:hotpath
+func bpcPut(sb *[bpcStreamWords]uint64, pos int, v uint64, n int) int {
+	wi := pos >> 6
+	if rem := 64 - uint(pos&63); uint(n) <= rem {
+		sb[wi] |= v << (rem - uint(n))
+	} else {
+		k := uint(n) - rem
+		sb[wi] |= v >> k
+		sb[wi+1] |= v << (64 - k)
 	}
-	base = words[0]
-	var deltas [bpcDeltas]uint64
-	for i := 0; i < bpcDeltas; i++ {
-		d := int64(words[i+1]) - int64(words[i])
-		deltas[i] = uint64(d) & ((1 << bpcPlanes) - 1) // 33-bit two's complement
-	}
-	for b := 0; b < bpcPlanes; b++ {
-		var plane uint32
-		for i := 0; i < bpcDeltas; i++ {
-			plane |= uint32((deltas[i]>>uint(b))&1) << uint(i)
-		}
-		dbp[b] = plane
-	}
-	// dbp[33] stays 0: the sentinel that makes DBX[32] == DBP[32].
-	return base, dbp
+	return pos + n
 }
 
-func bpcWriteBase(w *BitWriter, base uint32) {
+// bpcPutBase emits the base-symbol code (zero / 4-, 8-, 16-bit
+// sign-extended / raw), prefix and payload pre-merged into one put.
+//
+//buddy:hotpath
+func bpcPutBase(sb *[bpcStreamWords]uint64, pos int, base uint32) int {
 	v := int32(base)
 	switch {
 	case v == 0:
-		w.WriteBits(0b000, 3)
+		return bpcPut(sb, pos, 0b000, 3)
 	case v >= -8 && v < 8:
-		w.WriteBits(0b001, 3)
-		w.WriteBits(uint64(base)&0xF, 4)
+		return bpcPut(sb, pos, 0b001_0000|uint64(base)&0xF, 7)
 	case v >= -128 && v < 128:
-		w.WriteBits(0b010, 3)
-		w.WriteBits(uint64(base)&0xFF, 8)
+		return bpcPut(sb, pos, 0b010<<8|uint64(base)&0xFF, 11)
 	case v >= -32768 && v < 32768:
-		w.WriteBits(0b011, 3)
-		w.WriteBits(uint64(base)&0xFFFF, 16)
+		return bpcPut(sb, pos, 0b011<<16|uint64(base)&0xFFFF, 19)
 	default:
-		w.WriteBits(0b1, 1)
-		w.WriteBits(uint64(base), 32)
+		return bpcPut(sb, pos, 1<<32|uint64(base), 33)
 	}
+}
+
+// bpcRaw emits the raw-fallback frame (flag bit 1 + the 128 entry bytes).
+//
+//buddy:hotpath
+func bpcRaw(dst, entry []byte) ([]byte, int) {
+	var w BitWriter
+	w.Reset(dst)
+	w.WriteBits(1, 1)
+	w.WriteBytes(entry)
+	return w.Bytes(), EntryBytes * 8
 }
 
 func bpcReadBase(r *BitReader) uint32 {
@@ -105,67 +135,212 @@ func bpcReadBase(r *BitReader) uint32 {
 	}
 }
 
-// bpcEncodeTo writes the full (unframed) encoded stream for entry to w.
-func bpcEncodeTo(w *BitWriter, entry []byte) {
-	base, dbp := bpcPlanesOf(entry)
-	bpcWriteBase(w, base)
-	b := bpcPlanes - 1 // encode MSB plane first
-	for b >= 0 {
-		dbx := dbp[b] ^ dbp[b+1]
-		if dbx == 0 {
-			run := 1
-			for b-run >= 0 && dbp[b-run]^dbp[b-run+1] == 0 && run < 33 {
-				run++
-			}
-			if run == 1 {
-				w.WriteBits(0b001, 3)
-			} else {
-				w.WriteBits(0b01, 2)
-				w.WriteBits(uint64(run-2), 5)
-			}
-			b -= run
-			continue
-		}
-		tz := bits.TrailingZeros32(dbx)
-		switch {
-		case dbx == allOnes31:
-			w.WriteBits(0b00000, 5)
-		case dbp[b] == 0:
-			w.WriteBits(0b00001, 5)
-		case dbx>>uint(tz) == 3:
-			w.WriteBits(0b00010, 5)
-			w.WriteBits(uint64(tz), 5)
-		case dbx>>uint(tz) == 1:
-			w.WriteBits(0b00011, 5)
-			w.WriteBits(uint64(tz), 5)
-		default:
-			w.WriteBits(0b1, 1)
-			w.WriteBits(uint64(dbx), bpcDeltas)
-		}
-		b--
-	}
-}
-
 // AppendCompressed implements Codec: one encode produces both the framed
 // stream (first bit 0 = BPC stream, 1 = raw 128 bytes) and the payload bit
-// count, capped at the raw 1024 bits.
+// count, capped at the raw 1024 bits. The register buffer absorbs even the
+// worst-case encoding, so the emission loop runs checkless and the raw
+// fallback decision happens exactly once, at the end.
 //
 //buddy:hotpath
 func (BPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
-	start := len(dst)
-	var w BitWriter
-	w.Reset(dst)
-	w.WriteBits(0, 1)
-	bpcEncodeTo(&w, entry)
-	if bits := w.Len() - start*8 - 1; bits < EntryBytes*8 {
-		return w.Bytes(), bits
+	// The stream builds in a stack register buffer: each code lands with one
+	// or two shift-ors at a bit cursor, and the finished stream stores to dst
+	// in a single pass at the end. pos starts past the frame bit (0 = BPC
+	// stream), already present as the zero MSB of sbuf[0].
+	var sbuf [bpcStreamWords]uint64
+	pos := 1
+
+	// Sparsity pre-pass over the entry's sixteen 64-bit words: compute the
+	// 33-bit deltas and their transition masks, recording only the non-zero
+	// ones. rows holds each mask's low 32 bits two deltas per word (delta 2m
+	// in the low lane of rows[m] — the packed layout transpose32 wants); p32
+	// collects the mask bit-32 column, which is the whole of plane 32. A
+	// zero 64-bit word following a zero half skips both of its deltas with
+	// one compare, so runs of zero words cost one comparison per 8 bytes.
+	var rows [entryWordCount]uint64
+	var idx [bpcDeltas]uint8
+	var p32 uint32
+	nnz := 0
+	orE, andE, orD := uint64(0), bpcMask33, uint64(0)
+	base := binary.LittleEndian.Uint32(entry)
+	prev := int64(0)
+	for k := 0; k < entryWordCount; k++ {
+		w64 := binary.LittleEndian.Uint64(entry[k*8:])
+		lo := int64(uint32(w64))
+		hi := int64(w64 >> 32)
+		if k > 0 {
+			if w64|uint64(prev) == 0 {
+				continue
+			}
+			if d := uint64(lo-prev) & bpcMask33; d != 0 {
+				e := d ^ (d >> 1)
+				orD |= d
+				orE |= e
+				andE &= e
+				i := 2*k - 1 // odd: high lane of rows[k-1]
+				rows[k-1] |= e << 32
+				p32 |= uint32(e>>32) << uint(i)
+				idx[nnz] = uint8(i)
+				nnz++
+			}
+		}
+		if d := uint64(hi-lo) & bpcMask33; d != 0 {
+			e := d ^ (d >> 1)
+			orD |= d
+			orE |= e
+			andE &= e
+			i := 2 * k // even: low lane of rows[k]
+			rows[k] |= e & 0xFFFFFFFF
+			p32 |= uint32(e>>32) << uint(i)
+			idx[nnz] = uint8(i)
+			nnz++
+		}
+		prev = hi
 	}
-	rawFallback(&w, start, entry)
-	return w.Bytes(), EntryBytes * 8
+	if nnz < bpcDeltas {
+		andE = 0 // a zero delta has an all-zero mask, so no plane is all-ones
+	}
+
+	// Planes that the aggregates cannot classify (non-zero, not all-ones,
+	// DBP non-zero) need their 31 bits materialized. When there are many of
+	// them over many deltas, one butterfly transpose produces every plane at
+	// a fixed cost; otherwise per-plane gathers over just the non-zero
+	// deltas are cheaper.
+	need := orE &^ andE & orD
+	usePlanes := false
+	if g := bits.OnesCount64(need); g*nnz >= 128 {
+		transpose32(&rows)
+		usePlanes = true
+	}
+
+	pos = bpcPutBase(&sbuf, pos, base)
+	// Plane 32 is the p32 column collected by the pre-pass; classifying it
+	// before the loop keeps the per-plane body free of the is-it-the-top-plane
+	// test. The loop then emits one bpcPut per surviving plane: a zero-run hop
+	// (single Len64 instead of a per-plane walk — sparse entries have long
+	// runs) fuses its run code with the code of the plane that ends the run,
+	// so a run+plane pair costs one call, and the code discriminations select
+	// values rather than control flow (a data-dependent outcome is a couple of
+	// conditional moves, not a pipeline flush).
+	b := bpcPlanes - 1
+	if orE>>uint(b)&1 == 1 {
+		if need>>uint(b)&1 == 1 {
+			tz := bits.TrailingZeros32(p32)
+			v, n := uint64(1)<<bpcDeltas|uint64(p32), 32
+			if p := p32 >> uint(tz); p|2 == 3 {
+				v, n = (0b00010|uint64(3-p)>>1)<<5|uint64(tz), 10
+			}
+			pos = bpcPut(&sbuf, pos, v, n)
+		} else {
+			// all-ones DBX (00000) when every delta transitions, else DBP-zero
+			// (00001): the codes differ in one bit, read out of andE directly.
+			pos = bpcPut(&sbuf, pos, ^andE>>uint(b)&1, 5)
+		}
+		b--
+	}
+	for b >= 0 {
+		var rv uint64 // pending run code, emitted fused with the next plane
+		rn := 0
+		if orE>>uint(b)&1 == 0 {
+			hb := bits.Len64(orE&(uint64(1)<<uint(b)-1)) - 1
+			rv, rn = 0b001, 3
+			if run := b - hb; run != 1 {
+				rv, rn = 0b01_00000|uint64(run-2), 7
+			}
+			b = hb
+			if b < 0 {
+				pos = bpcPut(&sbuf, pos, rv, rn)
+				break
+			}
+		}
+		// Planes that must materialize values are the common case on real
+		// data, so the need test leads.
+		var v uint64
+		var n int
+		if need>>uint(b)&1 == 1 {
+			var plane uint32
+			if usePlanes {
+				plane = uint32(rows[b>>1] >> (uint(b&1) * 32))
+			} else {
+				for k := 0; k < nnz; k++ {
+					i := idx[k]
+					plane |= uint32(rows[i>>1]>>(uint(i&1)*32+uint(b))&1) << i
+				}
+			}
+			tz := bits.TrailingZeros32(plane)
+			v, n = uint64(1)<<bpcDeltas|uint64(plane), 32
+			if p := plane >> uint(tz); p|2 == 3 {
+				// p==3: two consecutive ones (00010); p==1: single one (00011).
+				v, n = (0b00010|uint64(3-p)>>1)<<5|uint64(tz), 10
+			}
+		} else {
+			v, n = ^andE>>uint(b)&1, 5
+		}
+		pos = bpcPut(&sbuf, pos, rv<<uint(n)|v, rn+n)
+		b--
+	}
+	if bits := pos - 1; bits < bpcRawBits {
+		// One bulk store: the register words are already the big-endian
+		// stream bytes, zero-padded past pos like the BitWriter would pad.
+		// When dst has the full register-buffer width spare (every pooled
+		// scratch does — cap is MaxStreamBytes), the words store straight into
+		// it; the tmp bounce only runs for short caller buffers.
+		nw := (pos + 63) >> 6
+		nb := (pos + 7) >> 3
+		if n := len(dst); cap(dst)-n >= bpcStreamWords*8 {
+			buf := dst[n : n+bpcStreamWords*8]
+			for j := 0; j < nw; j++ {
+				binary.BigEndian.PutUint64(buf[j*8:], sbuf[j])
+			}
+			return dst[: n+nb : cap(dst)], bits
+		}
+		var tmp [bpcStreamWords * 8]byte
+		for j := 0; j < nw; j++ {
+			binary.BigEndian.PutUint64(tmp[j*8:], sbuf[j])
+		}
+		return append(dst, tmp[:nb]...), bits
+	}
+	return bpcRaw(dst, entry)
 }
 
-// DecompressInto implements Codec.
+// bpcDecodeLUT classifies a plane code by its first five bits (the longest
+// prefix): one table probe replaces the bit-by-bit prefix walk. skip is the
+// code's prefix length; payload bits (run length, position, raw plane) are
+// read after the skip.
+var bpcDecodeLUT [32]struct{ kind, skip uint8 }
+
+const (
+	bpcKAllOnes = iota // 00000
+	bpcKDBPZero        // 00001
+	bpcKTwo            // 00010 + 5-bit position
+	bpcKOne            // 00011 + 5-bit position
+	bpcKZero1          // 001
+	bpcKRun            // 01 + 5-bit (run-2)
+	bpcKRaw            // 1 + 31 raw bits
+)
+
+func init() {
+	for v := 0; v < 32; v++ {
+		e := &bpcDecodeLUT[v]
+		switch {
+		case v >= 16: // 1xxxx
+			e.kind, e.skip = bpcKRaw, 1
+		case v >= 8: // 01xxx
+			e.kind, e.skip = bpcKRun, 2
+		case v >= 4: // 001xx
+			e.kind, e.skip = bpcKZero1, 3
+		default: // 0000x, 0001x
+			e.kind, e.skip = uint8(v), 5
+		}
+	}
+}
+
+// DecompressInto implements Codec. Instead of rebuilding 33 DBP planes and
+// gathering 31x33 bits back into words, the decoder scatters each plane's
+// DBX bits into per-delta transition masks (work proportional to the
+// stream's popcount), inverts the transition transform with a
+// parallel-prefix XOR, and prefix-sums the words.
 //
 //buddy:hotpath
 func (BPC) DecompressInto(dst, comp []byte) error {
@@ -175,59 +350,54 @@ func (BPC) DecompressInto(dst, comp []byte) error {
 		return decodeRawEntry(dst, r)
 	}
 	base := bpcReadBase(r)
-	var dbp [bpcPlanes + 1]uint32
+	var trans [bpcDeltas]uint64
+	acc := uint32(0) // DBP plane b+1 while processing plane b
 	b := bpcPlanes - 1
 	for b >= 0 {
-		if r.ReadBits(1) == 1 { // uncompressed plane
-			dbx := uint32(r.ReadBits(bpcDeltas))
-			dbp[b] = dbx ^ dbp[b+1]
+		c := bpcDecodeLUT[r.PeekBits(5)]
+		r.Skip(int(c.skip))
+		var dbx uint32
+		switch c.kind {
+		case bpcKRun:
+			b -= int(r.ReadBits(5)) + 2
+			continue
+		case bpcKZero1:
 			b--
 			continue
+		case bpcKRaw:
+			dbx = uint32(r.ReadBits(bpcDeltas))
+		case bpcKAllOnes:
+			dbx = allOnes31
+		case bpcKDBPZero:
+			dbx = acc // DBP[b] == 0, so DBX[b] == DBP[b+1]
+		case bpcKTwo:
+			dbx = uint32(3) << uint(r.ReadBits(5)) & allOnes31
+		default: // bpcKOne
+			dbx = uint32(1) << uint(r.ReadBits(5)) & allOnes31
 		}
-		if r.ReadBits(1) == 1 { // 01: zero run 2..33
-			run := int(r.ReadBits(5)) + 2
-			for k := 0; k < run && b >= 0; k++ {
-				dbp[b] = dbp[b+1]
-				b--
-			}
-			continue
-		}
-		if r.ReadBits(1) == 1 { // 001: single zero plane
-			dbp[b] = dbp[b+1]
-			b--
-			continue
-		}
-		switch r.ReadBits(2) {
-		case 0b00: // all ones
-			dbp[b] = allOnes31 ^ dbp[b+1]
-		case 0b01: // DBP == 0
-			dbp[b] = 0
-		case 0b10: // two consecutive ones
-			pos := uint(r.ReadBits(5))
-			dbp[b] = (uint32(3) << pos & allOnes31) ^ dbp[b+1]
-		default: // single one
-			pos := uint(r.ReadBits(5))
-			dbp[b] = (uint32(1) << pos & allOnes31) ^ dbp[b+1]
+		acc ^= dbx
+		for m := dbx; m != 0; m &= m - 1 {
+			trans[bits.TrailingZeros32(m)] |= 1 << uint(b)
 		}
 		b--
 	}
 	if r.Overrun() {
 		return ErrCorrupt
 	}
-	words := [bpcWords]uint32{0: base}
+	wv := base
+	binary.LittleEndian.PutUint32(dst, wv)
 	for i := 0; i < bpcDeltas; i++ {
-		var d uint64
-		for pb := 0; pb < bpcPlanes; pb++ {
-			d |= uint64((dbp[pb]>>uint(i))&1) << uint(pb)
-		}
-		sd := int64(d)
-		if d&(1<<(bpcPlanes-1)) != 0 {
-			sd -= 1 << bpcPlanes
-		}
-		words[i+1] = uint32(int64(words[i]) + sd)
-	}
-	for i, wv := range words {
-		binary.LittleEndian.PutUint32(dst[i*4:], wv)
+		// Invert e = d ^ (d>>1): bit k of d is the XOR of e's bits >= k.
+		d := trans[i]
+		d ^= d >> 1
+		d ^= d >> 2
+		d ^= d >> 4
+		d ^= d >> 8
+		d ^= d >> 16
+		d ^= d >> 32
+		// The 33-bit sign extension vanishes mod 2^32.
+		wv += uint32(d)
+		binary.LittleEndian.PutUint32(dst[(i+1)*4:], wv)
 	}
 	return nil
 }

@@ -1,7 +1,5 @@
 package compress
 
-import "encoding/binary"
-
 // CPack implements C-PACK (Chen et al., IEEE TVLSI 2010), the
 // dictionary-based baseline from the paper's algorithm comparison (§2.4).
 // Words are matched against a 16-entry FIFO dictionary of recently seen
@@ -17,6 +15,11 @@ import "encoding/binary"
 //
 // Words that are not full matches or zeros are pushed into the dictionary;
 // compressor and decompressor maintain identical dictionary state.
+//
+// The kernel walks the entry's word view: an all-zero 64-bit word emits both
+// of its zzzz codes with one four-bit push and never touches the dictionary,
+// and every code is assembled prefix+payload in a register and batched
+// through a 64-bit emission accumulator (codes are at most 34 bits).
 type CPack struct{}
 
 // NewCPack returns the C-PACK codec.
@@ -33,6 +36,7 @@ type cpackDict struct {
 	next    int
 }
 
+//buddy:hotpath
 func (d *cpackDict) push(w uint32) {
 	d.entries[d.next] = w
 	d.next = (d.next + 1) % cpackDictSize
@@ -43,6 +47,8 @@ func (d *cpackDict) push(w uint32) {
 
 // lookup returns the index of the best match and the match class:
 // 4 = full word, 3 = upper 3 bytes, 2 = upper 2 bytes, 0 = none.
+//
+//buddy:hotpath
 func (d *cpackDict) lookup(w uint32) (idx, klass int) {
 	klass = 0
 	for i := 0; i < d.n; i++ {
@@ -59,39 +65,61 @@ func (d *cpackDict) lookup(w uint32) (idx, klass int) {
 	return idx, klass
 }
 
-func cpackEncode(entry []byte, w *BitWriter) {
+// cpackEncode writes the 32 word codes for the entry's word view.
+//
+//buddy:hotpath
+func cpackEncode(wv *[entryWordCount]uint64, w *BitWriter) {
 	var dict cpackDict
+	pend, pendN := uint64(0), 0
 	for i := 0; i < bpcWords; i++ {
-		v := binary.LittleEndian.Uint32(entry[i*4:])
+		if i&1 == 0 && wv[i>>1] == 0 {
+			// Two zero words: both zzzz codes in one push.
+			if pendN+4 > 64 {
+				w.WriteBits(pend, pendN)
+				pend, pendN = 0, 0
+			}
+			pend <<= 4
+			pendN += 4
+			i++
+			continue
+		}
+		v := u32(wv, i)
+		var code uint64
+		var n int
 		if v == 0 {
-			w.WriteBits(0b00, 2)
-			continue
+			code, n = 0b00, 2
+		} else if v&0xFFFFFF00 == 0 {
+			code = 0b1101<<8 | uint64(v&0xFF)
+			n = 12
+		} else {
+			idx, klass := dict.lookup(v)
+			switch klass {
+			case 4:
+				code = 0b10<<4 | uint64(idx)
+				n = 6
+			case 3:
+				code = 0b1110<<12 | uint64(idx)<<8 | uint64(v&0xFF)
+				n = 16
+				dict.push(v)
+			case 2:
+				code = 0b1100<<20 | uint64(idx)<<16 | uint64(v&0xFFFF)
+				n = 24
+				dict.push(v)
+			default:
+				code = 0b01<<32 | uint64(v)
+				n = 34
+				dict.push(v)
+			}
 		}
-		if v&0xFFFFFF00 == 0 {
-			w.WriteBits(0b1101, 4)
-			w.WriteBits(uint64(v)&0xFF, 8)
-			continue
+		if pendN+n > 64 {
+			w.WriteBits(pend, pendN)
+			pend, pendN = 0, 0
 		}
-		idx, klass := dict.lookup(v)
-		switch klass {
-		case 4:
-			w.WriteBits(0b10, 2)
-			w.WriteBits(uint64(idx), 4)
-		case 3:
-			w.WriteBits(0b1110, 4)
-			w.WriteBits(uint64(idx), 4)
-			w.WriteBits(uint64(v)&0xFF, 8)
-			dict.push(v)
-		case 2:
-			w.WriteBits(0b1100, 4)
-			w.WriteBits(uint64(idx), 4)
-			w.WriteBits(uint64(v)&0xFFFF, 16)
-			dict.push(v)
-		default:
-			w.WriteBits(0b01, 2)
-			w.WriteBits(uint64(v), 32)
-			dict.push(v)
-		}
+		pend = pend<<uint(n) | code
+		pendN += n
+	}
+	if pendN > 0 {
+		w.WriteBits(pend, pendN)
 	}
 }
 
@@ -105,7 +133,9 @@ func (CPack) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	var w BitWriter
 	w.Reset(dst)
 	w.WriteBits(0, 1)
-	cpackEncode(entry, &w)
+	var wv [entryWordCount]uint64
+	loadWords(entry, &wv)
+	cpackEncode(&wv, &w)
 	if bits := w.Len() - start*8 - 1; bits < EntryBytes*8 {
 		return w.Bytes(), bits
 	}
@@ -122,7 +152,7 @@ func (CPack) DecompressInto(dst, comp []byte) error {
 	if r.ReadBits(1) == 1 {
 		return decodeRawEntry(dst, r)
 	}
-	clear(dst) // zero words are skipped, not written
+	var wv [entryWordCount]uint64 // zero words are skipped, not written
 	var dict cpackDict
 	for i := 0; i < bpcWords; i++ {
 		var v uint32
@@ -161,10 +191,11 @@ func (CPack) DecompressInto(dst, comp []byte) error {
 				return ErrCorrupt
 			}
 		}
-		binary.LittleEndian.PutUint32(dst[i*4:], v)
+		wv[i>>1] |= uint64(v) << (uint(i&1) * 32)
 	}
 	if r.Overrun() {
 		return ErrCorrupt
 	}
+	storeWords(dst, &wv)
 	return nil
 }

@@ -1,7 +1,5 @@
 package compress
 
-import "encoding/binary"
-
 // FPC implements Frequent Pattern Compression (Alameldeen & Wood, 2004),
 // another baseline from the paper's algorithm comparison (§2.4). Each 32-bit
 // word is encoded with a 3-bit prefix selecting one of eight patterns:
@@ -15,6 +13,13 @@ import "encoding/binary"
 //	 101    two halfwords, each an 8-bit SE value     16
 //	 110    word of four repeated bytes               8
 //	 111    uncompressed word                         32
+//
+// The kernel scans the word view: zero runs extend two 32-bit words per
+// 64-bit compare, the sign-extension range tests are one add-and-compare
+// each, and every prefix+payload pair lands in a 64-bit emission register
+// flushed in bulk (codes are at most 35 bits, so at least one code always
+// fits). The decoder accumulates words into the view and stores the entry
+// in one pass.
 type FPC struct{}
 
 // NewFPC returns the Frequent Pattern Compression codec.
@@ -23,57 +28,67 @@ func NewFPC() FPC { return FPC{} }
 // Name implements Codec.
 func (FPC) Name() string { return "fpc" }
 
-func fpcFits(v uint32, bits int) bool {
-	sv := int32(v)
-	lim := int32(1) << uint(bits-1)
-	return sv >= -lim && sv < lim
-}
-
-func fpcHalfFits(h uint16) bool {
-	sv := int16(h)
-	return sv >= -128 && sv < 128
-}
-
-func fpcEncode(entry []byte, w *BitWriter) {
+// fpcEncode writes the 32 word codes for the entry's word view.
+//
+//buddy:hotpath
+func fpcEncode(wv *[entryWordCount]uint64, w *BitWriter) {
+	pend, pendN := uint64(0), 0
 	i := 0
 	for i < bpcWords {
-		v := binary.LittleEndian.Uint32(entry[i*4:])
+		v := u32(wv, i)
+		var code uint64
+		var n int
 		if v == 0 {
 			run := 1
-			for i+run < bpcWords && run < 8 &&
-				binary.LittleEndian.Uint32(entry[(i+run)*4:]) == 0 {
+			for i+run < bpcWords && run < 8 {
+				j := i + run
+				if j&1 == 0 && run+1 < 8 && wv[j>>1] == 0 {
+					run += 2 // a zero 64-bit word is two zero words at once
+					continue
+				}
+				if u32(wv, j) != 0 {
+					break
+				}
 				run++
 			}
-			w.WriteBits(0b000, 3)
-			w.WriteBits(uint64(run-1), 3)
+			code = 0b000_000 | uint64(run-1)
+			n = 6
 			i += run
-			continue
+		} else {
+			switch {
+			case v+8 < 16:
+				code = 0b001<<4 | uint64(v&0xF)
+				n = 7
+			case v+128 < 256:
+				code = 0b010<<8 | uint64(v&0xFF)
+				n = 11
+			case v+32768 < 65536:
+				code = 0b011<<16 | uint64(v&0xFFFF)
+				n = 19
+			case v&0xFFFF == 0:
+				code = 0b100<<16 | uint64(v>>16)
+				n = 19
+			case uint16(v)+128 < 256 && uint16(v>>16)+128 < 256:
+				code = 0b101<<16 | uint64(v&0xFF)<<8 | uint64(v>>16&0xFF)
+				n = 19
+			case v == uint32(v&0xFF)*0x01010101:
+				code = 0b110<<8 | uint64(v&0xFF)
+				n = 11
+			default:
+				code = 0b111<<32 | uint64(v)
+				n = 35
+			}
+			i++
 		}
-		switch {
-		case fpcFits(v, 4):
-			w.WriteBits(0b001, 3)
-			w.WriteBits(uint64(v)&0xF, 4)
-		case fpcFits(v, 8):
-			w.WriteBits(0b010, 3)
-			w.WriteBits(uint64(v)&0xFF, 8)
-		case fpcFits(v, 16):
-			w.WriteBits(0b011, 3)
-			w.WriteBits(uint64(v)&0xFFFF, 16)
-		case v&0xFFFF == 0:
-			w.WriteBits(0b100, 3)
-			w.WriteBits(uint64(v>>16), 16)
-		case fpcHalfFits(uint16(v)) && fpcHalfFits(uint16(v>>16)):
-			w.WriteBits(0b101, 3)
-			w.WriteBits(uint64(v)&0xFF, 8)
-			w.WriteBits(uint64(v>>16)&0xFF, 8)
-		case byte(v) == byte(v>>8) && byte(v) == byte(v>>16) && byte(v) == byte(v>>24):
-			w.WriteBits(0b110, 3)
-			w.WriteBits(uint64(v)&0xFF, 8)
-		default:
-			w.WriteBits(0b111, 3)
-			w.WriteBits(uint64(v), 32)
+		if pendN+n > 64 {
+			w.WriteBits(pend, pendN)
+			pend, pendN = 0, 0
 		}
-		i++
+		pend = pend<<uint(n) | code
+		pendN += n
+	}
+	if pendN > 0 {
+		w.WriteBits(pend, pendN)
 	}
 }
 
@@ -88,7 +103,9 @@ func (FPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	var w BitWriter
 	w.Reset(dst)
 	w.WriteBits(0, 1)
-	fpcEncode(entry, &w)
+	var wv [entryWordCount]uint64
+	loadWords(entry, &wv)
+	fpcEncode(&wv, &w)
 	if bits := w.Len() - start*8 - 1; bits < EntryBytes*8 {
 		return w.Bytes(), bits
 	}
@@ -105,7 +122,7 @@ func (FPC) DecompressInto(dst, comp []byte) error {
 	if r.ReadBits(1) == 1 {
 		return decodeRawEntry(dst, r)
 	}
-	clear(dst) // zero runs are skipped, not written
+	var wv [entryWordCount]uint64 // zero runs are skipped, not written
 	i := 0
 	for i < bpcWords {
 		prefix := r.ReadBits(3)
@@ -136,11 +153,12 @@ func (FPC) DecompressInto(dst, comp []byte) error {
 		if i >= bpcWords {
 			return ErrCorrupt
 		}
-		binary.LittleEndian.PutUint32(dst[i*4:], v)
+		wv[i>>1] |= uint64(v) << (uint(i&1) * 32)
 		i++
 	}
 	if r.Overrun() {
 		return ErrCorrupt
 	}
+	storeWords(dst, &wv)
 	return nil
 }

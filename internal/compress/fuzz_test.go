@@ -28,6 +28,18 @@ func FuzzRoundTrip(f *testing.F) {
 		ramp[i] = byte(i * 7)
 	}
 	f.Add(ramp)
+	// Sparsity-structured seeds: the word-kernel fast paths (all-zero
+	// short-circuit, zero-run delta skip, run-length plane codes) branch on
+	// exactly these shapes.
+	f.Add(make([]byte, EntryBytes)) // all-zero entry
+	oneBit := make([]byte, EntryBytes)
+	oneBit[77] = 0x10 // single set bit mid-entry
+	f.Add(oneBit)
+	sparse90 := make([]byte, EntryBytes)
+	for _, i := range []int{12, 13, 40, 41, 88, 89} { // ~90% of halfwords zero
+		sparse90[i] = byte(0x3C + i)
+	}
+	f.Add(sparse90)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		entry := fuzzEntry(data)
 		dst := make([]byte, EntryBytes)
@@ -73,6 +85,9 @@ func FuzzDecompressArbitrary(f *testing.F) {
 	f.Add([]byte{0xFF})
 	f.Add([]byte{0x00, 0x00, 0x00})
 	f.Add(bytes.Repeat([]byte{0x55}, 192))
+	f.Add(make([]byte, 132))    // all-zero stream: zero frame bits + padding
+	f.Add([]byte{0x00, 0x80})   // short stream with one set bit
+	f.Add([]byte{0x40, 0x00, 0x01}) // sparse stream: run codes then a one
 	f.Fuzz(func(t *testing.T, comp []byte) {
 		dst := make([]byte, EntryBytes)
 		for _, c := range Registry() {

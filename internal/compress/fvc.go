@@ -1,7 +1,5 @@
 package compress
 
-import "encoding/binary"
-
 // FVC implements Frequent Value Compression (Yang, Zhang & Gupta, MICRO
 // 2000), completing the paper's algorithm-comparison set (§2.4 cites it as
 // [41]). A small direct-mapped dictionary of frequently seen 32-bit values
@@ -24,15 +22,20 @@ func (FVC) Name() string { return "fvc" }
 
 const fvcDictMax = 8
 
-// fvcEncode writes the unframed FVC stream. The frequent-value dictionary is
-// the up-to-8 first-seen values occurring at least twice (a singleton saves
-// nothing) — deterministic, like a hardware table with first-touch
-// allocation. With only 32 words per entry, linear scans beat hash maps and
-// keep the encode allocation-free.
-func fvcEncode(entry []byte, w *BitWriter) {
+// fvcEncode writes the unframed FVC stream for the entry's word view. The
+// frequent-value dictionary is the up-to-8 first-seen values occurring at
+// least twice (a singleton saves nothing) — deterministic, like a hardware
+// table with first-touch allocation. With only 32 words per entry, linear
+// scans beat hash maps and keep the encode allocation-free; the duplicate
+// probe stops at the second occurrence, and hit/miss codes batch through a
+// 64-bit emission register (a miss code is 33 bits).
+//
+//buddy:hotpath
+func fvcEncode(wv *[entryWordCount]uint64, w *BitWriter) {
 	var words [bpcWords]uint32
-	for i := 0; i < bpcWords; i++ {
-		words[i] = binary.LittleEndian.Uint32(entry[i*4:])
+	for i := 0; i < entryWordCount; i++ {
+		words[2*i] = uint32(wv[i])
+		words[2*i+1] = uint32(wv[i] >> 32)
 	}
 	var dict [fvcDictMax]uint32
 	nd := 0
@@ -49,7 +52,7 @@ func fvcEncode(entry []byte, w *BitWriter) {
 			continue
 		}
 		count := 0
-		for j := i; j < bpcWords; j++ {
+		for j := i; j < bpcWords && count < 2; j++ {
 			if words[j] == v {
 				count++
 			}
@@ -63,21 +66,27 @@ func fvcEncode(entry []byte, w *BitWriter) {
 	for i := 0; i < nd; i++ {
 		w.WriteBits(uint64(dict[i]), 32)
 	}
+	pend, pendN := uint64(0), 0
 	for i := 0; i < bpcWords; i++ {
 		v := words[i]
-		hit := false
+		code := uint64(v) // miss: flag 0 then the raw word
+		n := 33
 		for j := 0; j < nd; j++ {
 			if dict[j] == v {
-				w.WriteBits(1, 1)
-				w.WriteBits(uint64(j), 3)
-				hit = true
+				code = 0b1000 | uint64(j) // hit: flag 1 then the 3-bit index
+				n = 4
 				break
 			}
 		}
-		if !hit {
-			w.WriteBits(0, 1)
-			w.WriteBits(uint64(v), 32)
+		if pendN+n > 64 {
+			w.WriteBits(pend, pendN)
+			pend, pendN = 0, 0
 		}
+		pend = pend<<uint(n) | code
+		pendN += n
+	}
+	if pendN > 0 {
+		w.WriteBits(pend, pendN)
 	}
 }
 
@@ -91,7 +100,9 @@ func (FVC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	var w BitWriter
 	w.Reset(dst)
 	w.WriteBits(0, 1)
-	fvcEncode(entry, &w)
+	var wv [entryWordCount]uint64
+	loadWords(entry, &wv)
+	fvcEncode(&wv, &w)
 	if bits := w.Len() - start*8 - 1; bits < EntryBytes*8 {
 		return w.Bytes(), bits
 	}
@@ -113,6 +124,7 @@ func (FVC) DecompressInto(dst, comp []byte) error {
 	for i := 0; i < n; i++ {
 		dict[i] = uint32(r.ReadBits(32))
 	}
+	var wv [entryWordCount]uint64
 	for i := 0; i < bpcWords; i++ {
 		var v uint32
 		if r.ReadBits(1) == 1 {
@@ -124,10 +136,11 @@ func (FVC) DecompressInto(dst, comp []byte) error {
 		} else {
 			v = uint32(r.ReadBits(32))
 		}
-		binary.LittleEndian.PutUint32(dst[i*4:], v)
+		wv[i>>1] |= uint64(v) << (uint(i&1) * 32)
 	}
 	if r.Overrun() {
 		return ErrCorrupt
 	}
+	storeWords(dst, &wv)
 	return nil
 }

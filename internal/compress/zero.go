@@ -17,7 +17,7 @@ func (Zero) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	checkEntry(entry)
 	var w BitWriter
 	w.Reset(dst)
-	if bdiAllZero(entry) {
+	if EntryAllZero(entry) {
 		w.WriteBits(0, 1)
 		return w.Bytes(), 0
 	}
@@ -47,7 +47,7 @@ func (Zero) DecompressInto(dst, comp []byte) error {
 // (representable purely in metadata), others round up within
 // OptimisticSizes.
 func OptimisticSize(c Codec, entry []byte) int {
-	if bdiAllZero(entry) {
+	if EntryAllZero(entry) {
 		return 0
 	}
 	return RoundToClass((oneShotBits(c, entry)+7)/8, OptimisticSizes)

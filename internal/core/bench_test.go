@@ -30,45 +30,89 @@ func benchData(n int) []byte {
 	return data
 }
 
-// BenchmarkWriteEntry measures the steady-state compressed write path: one
-// encode per entry, pooled scratch, no allocations.
-func BenchmarkWriteEntry(b *testing.B) {
-	a := benchAlloc(b, 32<<20)
-	entry := benchData(EntryBytes)
-	// First touch allocates each entry's retained stream buffer; steady
-	// state starts once every entry has been written.
-	for i := 0; i < a.EntryCount; i++ {
-		if err := a.WriteEntry(i, entry); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.SetBytes(EntryBytes)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := a.WriteEntry(i%a.EntryCount, entry); err != nil {
-			b.Fatal(err)
-		}
+// benchEntryShapes is the shape matrix of the entry-path benchmarks,
+// mirroring internal/compress: the all-zero short-circuit, sparse fp16
+// activations, dense random (raw fallback), a delta-friendly pattern and
+// the noisy FP64 field the original single-shape benchmark used.
+func benchEntryShapes() []struct {
+	name string
+	g    gen.Generator
+} {
+	return []struct {
+		name string
+		g    gen.Generator
+	}{
+		{"zeros", gen.Zeros{}},
+		{"sparse90", gen.SparseFP16{ZeroFrac: 0.9}},
+		{"sparse70", gen.SparseFP16{ZeroFrac: 0.7}},
+		{"dense", gen.Random{}},
+		{"pattern", gen.Ramp{Start: -100, Step: 3}},
+		{"noisy64", gen.Noisy64{NoiseBits: 8, HiStep: 1}},
 	}
 }
 
-// BenchmarkReadEntry measures the steady-state decompressed read path.
-func BenchmarkReadEntry(b *testing.B) {
-	a := benchAlloc(b, 32<<20)
-	entry := benchData(EntryBytes)
-	for i := 0; i < a.EntryCount; i++ {
-		if err := a.WriteEntry(i, entry); err != nil {
-			b.Fatal(err)
-		}
+func reportNsPerEntry(b *testing.B) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/entry")
+}
+
+// benchEntrySize keeps the per-shape warmup (first touch of every entry's
+// retained stream buffer) cheap while still cycling through thousands of
+// distinct entries.
+const benchEntrySize = 1 << 20
+
+// BenchmarkWriteEntry measures the steady-state compressed write path per
+// entry shape: one encode per entry, pooled scratch, no allocations. The
+// per-shape ns/entry is what BENCH_baseline.json pins.
+func BenchmarkWriteEntry(b *testing.B) {
+	for _, s := range benchEntryShapes() {
+		b.Run(s.name, func(b *testing.B) {
+			a := benchAlloc(b, benchEntrySize)
+			entry := make([]byte, EntryBytes)
+			s.g.Fill(entry, gen.NewRNG(2, 1))
+			// First touch allocates each entry's retained stream buffer;
+			// steady state starts once every entry has been written.
+			for i := 0; i < a.EntryCount; i++ {
+				if err := a.WriteEntry(i, entry); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(EntryBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.WriteEntry(i%a.EntryCount, entry); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportNsPerEntry(b)
+		})
 	}
-	dst := make([]byte, EntryBytes)
-	b.SetBytes(EntryBytes)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := a.ReadEntry(i%a.EntryCount, dst); err != nil {
-			b.Fatal(err)
-		}
+}
+
+// BenchmarkReadEntry measures the steady-state decompressed read path per
+// entry shape.
+func BenchmarkReadEntry(b *testing.B) {
+	for _, s := range benchEntryShapes() {
+		b.Run(s.name, func(b *testing.B) {
+			a := benchAlloc(b, benchEntrySize)
+			entry := make([]byte, EntryBytes)
+			s.g.Fill(entry, gen.NewRNG(2, 1))
+			for i := 0; i < a.EntryCount; i++ {
+				if err := a.WriteEntry(i, entry); err != nil {
+					b.Fatal(err)
+				}
+			}
+			dst := make([]byte, EntryBytes)
+			b.SetBytes(EntryBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.ReadEntry(i%a.EntryCount, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportNsPerEntry(b)
+		})
 	}
 }
 

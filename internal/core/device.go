@@ -452,7 +452,17 @@ func (a *Allocation) writeEntry(i int, data []byte, scratch *[]byte) error {
 		return fmt.Errorf("core: entry must be %d bytes, got %d", EntryBytes, len(data))
 	}
 	d := a.dev
-	stream, bits := d.cfg.Codec.AppendCompressed((*scratch)[:0], data)
+	// All-zero entries short-circuit the codec: one 16-word probe replaces
+	// the full encode, and the precomputed per-codec zero stream is
+	// frame-identical to what AppendCompressed would produce. Activation-like
+	// sparse traffic is dominated by this path.
+	var stream []byte
+	var bits int
+	if compress.EntryAllZero(data) {
+		stream, bits = compress.AppendZeroEntry((*scratch)[:0], d.cfg.Codec)
+	} else {
+		stream, bits = d.cfg.Codec.AppendCompressed((*scratch)[:0], data)
+	}
 	*scratch = stream[:0]
 	sectors := compress.SectorsForBits(bits)
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"buddy/internal/cache"
@@ -77,6 +78,12 @@ func (m *MetadataStore) OverheadFraction() float64 {
 type MetadataCache struct {
 	slices []*cache.Cache
 	locks  []sync.Mutex
+	// mask/shift replace the slice-select mod/div when the slice count is a
+	// power of two (the hardware configuration: one slice per DRAM channel).
+	// mask == 0 means "not a power of two"; Access then falls back to the
+	// general divide. Both paths compute the same slice id and local address.
+	mask  uint64
+	shift uint
 }
 
 // NewMetadataCache builds a cache of totalBytes split across nSlices
@@ -89,6 +96,10 @@ func NewMetadataCache(totalBytes, nSlices, ways int) *MetadataCache {
 	mc := &MetadataCache{
 		slices: make([]*cache.Cache, nSlices),
 		locks:  make([]sync.Mutex, nSlices),
+	}
+	if nSlices&(nSlices-1) == 0 {
+		mc.mask = uint64(nSlices - 1)
+		mc.shift = uint(bits.TrailingZeros(uint(nSlices)))
 	}
 	for i := range mc.slices {
 		mc.slices[i] = cache.New(per, ways, MetadataLineBytes)
@@ -104,11 +115,18 @@ func NewMetadataCache(totalBytes, nSlices, ways int) *MetadataCache {
 func (mc *MetadataCache) Access(entry int) bool {
 	byteAddr := uint64(entry) * MetadataBitsPerEntry / 8
 	line := byteAddr / MetadataLineBytes
-	i := line % uint64(len(mc.slices))
-	local := line / uint64(len(mc.slices)) * MetadataLineBytes
+	var i, local uint64
+	if mc.mask != 0 {
+		i = line & mc.mask
+		local = (line >> mc.shift) * MetadataLineBytes
+	} else {
+		i = line % uint64(len(mc.slices))
+		local = line / uint64(len(mc.slices)) * MetadataLineBytes
+	}
 	mc.locks[i].Lock()
-	defer mc.locks[i].Unlock()
-	return mc.slices[i].Access(local)
+	hit := mc.slices[i].Access(local)
+	mc.locks[i].Unlock()
+	return hit
 }
 
 // HitRate aggregates hits across slices.

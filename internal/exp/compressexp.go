@@ -9,9 +9,12 @@ import (
 	"fmt"
 	"strings"
 
+	"buddy/internal/analysis"
 	"buddy/internal/compress"
 	"buddy/internal/core"
+	"buddy/internal/gen"
 	"buddy/internal/heatmap"
+	"buddy/internal/memory"
 	"buddy/internal/stats"
 	"buddy/internal/trace"
 	"buddy/internal/workloads"
@@ -85,6 +88,63 @@ func Fig3(scale int) *Fig3Result {
 	}
 	res.GMeanHPC = stats.GMean(hpc)
 	res.GMeanDL = stats.GMean(dl)
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-activation sweep: per-codec ratio on cDMA-style activation data
+// ---------------------------------------------------------------------------
+
+// SparseZeroFracs are the default activation zero fractions, the 50-90%
+// range cDMA (Rhu et al.) reports for post-ReLU DL activation traffic.
+var SparseZeroFracs = []float64{0.5, 0.7, 0.9}
+
+// SparseRow holds one codec's compression-ratio series over the sweep's
+// zero fractions.
+type SparseRow struct {
+	Codec  string
+	Ratios []float64 // one per zero fraction
+}
+
+// SparseResult aggregates the sparse-activation companion study to Fig. 3.
+type SparseResult struct {
+	ZeroFracs []float64
+	Rows      []SparseRow // one per registered codec
+}
+
+// SparseSweep measures every registered codec on synthetic fp16 activation
+// pools (gen.SparseFP16) at each zero fraction — the Fig. 3-style view of
+// the data class the codecs' zero-run fast paths target. One pool is
+// synthesized per zero fraction and shared across codecs, so the rows are
+// directly comparable; ratios use the same optimistic eight-size rounding
+// as Fig. 3.
+func SparseSweep(scale int, zeroFracs []float64) *SparseResult {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	if len(zeroFracs) == 0 {
+		zeroFracs = SparseZeroFracs
+	}
+	res := &SparseResult{ZeroFracs: zeroFracs}
+	snaps := make([]*memory.Snapshot, len(zeroFracs))
+	for i, zf := range zeroFracs {
+		// A 1 GB activation pool before scaling: comparable sample counts
+		// to a mid-size Tab. 1 benchmark region.
+		size := int(int64(1<<30) / int64(scale))
+		if size < 64*memory.PageBytes {
+			size = 64 * memory.PageBytes
+		}
+		a := memory.NewAllocation(fmt.Sprintf("activations_z%d", int(zf*100)), size)
+		gen.SparseFP16{ZeroFrac: zf}.Fill(a.Data, gen.NewRNG(0xC0DA+uint64(i), 7))
+		snaps[i] = &memory.Snapshot{Allocations: []*memory.Allocation{a}}
+	}
+	for _, c := range compress.Registry() {
+		row := SparseRow{Codec: c.Name()}
+		for _, s := range snaps {
+			row.Ratios = append(row.Ratios, analysis.CompressionRatio(s, c, compress.OptimisticSizes))
+		}
+		res.Rows = append(res.Rows, row)
+	}
 	return res
 }
 

@@ -79,6 +79,43 @@ func TestFig7Shape(t *testing.T) {
 	}
 }
 
+func TestSparseSweepShape(t *testing.T) {
+	res := SparseSweep(testScale, nil)
+	if len(res.ZeroFracs) != 3 || res.ZeroFracs[0] != 0.5 || res.ZeroFracs[2] != 0.9 {
+		t.Fatalf("default zero fractions = %v, want cDMA's 0.5/0.7/0.9", res.ZeroFracs)
+	}
+	byCodec := map[string][]float64{}
+	for _, r := range res.Rows {
+		byCodec[r.Codec] = r.Ratios
+		if len(r.Ratios) != len(res.ZeroFracs) {
+			t.Fatalf("%s: %d ratios for %d zero fractions", r.Codec, len(r.Ratios), len(res.ZeroFracs))
+		}
+		// More zeros can only help: every codec's ratio must be monotone
+		// nondecreasing in the zero fraction, and a compression ratio is
+		// never below 1 (the raw class is the ceiling).
+		for i, v := range r.Ratios {
+			if v < 1 {
+				t.Errorf("%s at %.0f%% zeros: ratio %.2f < 1", r.Codec, res.ZeroFracs[i]*100, v)
+			}
+			if i > 0 && v < r.Ratios[i-1]-0.01 {
+				t.Errorf("%s: ratio fell from %.2f to %.2f as zeros rose", r.Codec, r.Ratios[i-1], v)
+			}
+		}
+	}
+	// BPC exploits the zero runs: at 50% zeros the element-level scatter
+	// defeats it (every entry still holds ~32 nonzero halfwords, ratio ~1)
+	// while at 90% many entries go fully or nearly zero — the sweep must
+	// show that cliff, which is exactly what the codecs' sparsity fast
+	// paths key on.
+	bpc := byCodec["bpc"]
+	if bpc == nil {
+		t.Fatal("bpc missing from the sweep")
+	}
+	if bpc[2] < 1.3*bpc[0] || bpc[2] < 1.3 {
+		t.Errorf("bpc ratios %v: 90%%-zero point should clearly beat 50%%", bpc)
+	}
+}
+
 func TestFig9Shape(t *testing.T) {
 	skipFidelitySweepUnderRace(t)
 	rows := Fig9(testScale, nil)

@@ -89,6 +89,7 @@ func TestGeneratorsDeterministic(t *testing.T) {
 		Zeros{}, Ramp{Start: 5, Step: 3}, Noisy32{NoiseBits: 8},
 		Noisy64{NoiseBits: 8, HiStep: 1}, Random{},
 		Sparse32{Density: 0.4, Sigma: 1}, Weights32{Sigma: 0.1},
+		SparseFP16{ZeroFrac: 0.7},
 		Stripe{A: Zeros{}, B: Random{}, PeriodEntries: 4, AEntries: 2},
 		Blend{A: Zeros{}, B: Random{}, PA: 0.5},
 	}
@@ -136,6 +137,29 @@ func TestSparseDensity(t *testing.T) {
 	frac := float64(nonzeroWords) / float64(len(buf)/4)
 	if frac < 0.27 || frac > 0.33 {
 		t.Errorf("density %.3f, want ~0.30", frac)
+	}
+}
+
+func TestSparseFP16ZeroFraction(t *testing.T) {
+	for _, zf := range []float64{0.5, 0.7, 0.9} {
+		buf := make([]byte, 128*1000)
+		SparseFP16{ZeroFrac: zf}.Fill(buf, NewRNG(11, 1))
+		zeroHalves, finite := 0, true
+		for i := 0; i+2 <= len(buf); i += 2 {
+			h := uint16(buf[i]) | uint16(buf[i+1])<<8
+			if h == 0 {
+				zeroHalves++
+			} else if h&0x7C00 == 0x7C00 {
+				finite = false // inf/NaN exponent
+			}
+		}
+		frac := float64(zeroHalves) / float64(len(buf)/2)
+		if frac < zf-0.03 || frac > zf+0.03 {
+			t.Errorf("ZeroFrac=%.1f: measured zero fraction %.3f", zf, frac)
+		}
+		if !finite {
+			t.Errorf("ZeroFrac=%.1f: produced non-finite fp16 values", zf)
+		}
 	}
 }
 

@@ -177,6 +177,67 @@ func (g Sparse32) Fill(dst []byte, r *RNG) {
 	}
 }
 
+// SparseFP16 produces half-precision activation tensors with a configurable
+// zero fraction: the cDMA observation (Rhu et al.) that DL activation
+// traffic is 50-90% zeros after ReLU, stored as fp16 in modern frameworks.
+// Non-zero elements are |N(0, Sigma^2)| draws encoded as IEEE 754 binary16
+// bit patterns, so sign and exponent bits cluster the way real activation
+// maps do while the zero fraction directly controls entry sparsity.
+type SparseFP16 struct {
+	// ZeroFrac is the fraction of zero elements, 0..1 (typ. 0.5/0.7/0.9).
+	ZeroFrac float64
+	// Sigma scales the non-zero magnitudes (default 1).
+	Sigma float64
+}
+
+// Name implements Generator.
+func (SparseFP16) Name() string { return "sparsefp16" }
+
+// Fill implements Generator.
+func (g SparseFP16) Fill(dst []byte, r *RNG) {
+	sigma := g.Sigma
+	if sigma == 0 {
+		sigma = 1
+	}
+	for i := 0; i+2 <= len(dst); i += 2 {
+		var h uint16
+		if r.Float64() >= g.ZeroFrac {
+			h = float16bits(float32(math.Abs(r.NormFloat64()) * sigma))
+		}
+		binary.LittleEndian.PutUint16(dst[i:], h)
+	}
+	if len(dst)%2 == 1 {
+		dst[len(dst)-1] = 0
+	}
+}
+
+// float16bits converts a float32 to the IEEE 754 binary16 bit pattern with
+// round-to-nearest-even, flushing values below the subnormal range to zero
+// and clamping overflow to infinity.
+func float16bits(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xFF) - 127 + 15
+	mant := b & 0x7FFFFF
+	switch {
+	case exp >= 0x1F:
+		return sign | 0x7C00 // overflow -> inf
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflow -> zero
+		}
+		// Subnormal: shift in the implicit leading bit.
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		return sign | uint16((mant+half)>>shift)
+	default:
+		// Round mantissa 23 -> 10 bits to nearest even.
+		rounded := (mant + 0xFFF + (mant>>13)&1) >> 13
+		return sign | uint16(int32(rounded)+exp<<10)
+	}
+}
+
 // Weights32 produces dense float32 tensors of N(0, Sigma^2) values: DL
 // weights and gradients. Sign and low mantissa bits are random but the
 // exponent byte clusters tightly around log2(Sigma), which is what makes

@@ -34,6 +34,23 @@ func unmarked() []byte {
 	return make([]byte, 4)
 }
 
+// wordKernel stands in for the word-view codec kernels: the [16]uint64
+// scratch lives on the stack and the stream buffer is caller-provided, so
+// a make inside the kernel is a lost fast path, not a style issue.
+//
+//buddy:hotpath
+func wordKernel(dst []byte, w *[16]uint64) []byte {
+	var acc uint64
+	for _, x := range w {
+		acc |= x
+	}
+	if acc == 0 {
+		return append(dst, 0)
+	}
+	spill := make([]byte, 128) // want `hotpath but calls make`
+	return append(dst, spill...)
+}
+
 // worker shows the parallelSpan shape: the marker on the line above a
 // function literal marks the literal.
 func worker(run func(func(lo, hi int))) {
