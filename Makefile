@@ -88,17 +88,19 @@ bench-json:
 	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime=1x -count=1 \
 		./internal/compress/ ./internal/core/ ./internal/analysis/ ./internal/exp/ ./internal/pool/ > BENCH_pr.json
 
-# The bench-gate pins per-codec and data-path ns/entry so a lost fast path
-# fails loudly instead of landing silently. BENCH_baseline.json holds the
-# pinned numbers (written by bench-baseline); bench-gate re-runs the same
+# The bench-gate pins per-codec and data-path ns/entry — and, for benchmarks
+# that report them, allocs/op (the async submit path pins at 0, so a
+# de-pooled task or future fails the gate) — so a lost fast path fails
+# loudly instead of landing silently. BENCH_baseline.json holds the pinned
+# numbers (written by bench-baseline); bench-gate re-runs the same
 # benchmarks (min of -count 4 per benchmark) and fails when any pinned
 # benchmark runs slower than baseline x tolerance. Baselines are
 # machine-relative: after a deliberate perf trade-off, or on a new machine
 # class, re-pin with bench-baseline in a commit that says why. BENCH_TOL
 # overrides the tolerance for one run (CI uses a wider one to absorb shared
 # runner heterogeneity; a lost kernel fast path is a 2-15x cliff either way).
-BENCH_GATE_PKGS = ./internal/compress/ ./internal/core/
-BENCH_GATE_RX = 'BenchmarkAppendCompressed|BenchmarkDecompressInto|BenchmarkWriteEntry|BenchmarkReadEntry'
+BENCH_GATE_PKGS = ./internal/compress/ ./internal/core/ ./internal/pool/
+BENCH_GATE_RX = 'BenchmarkAppendCompressed|BenchmarkDecompressInto|BenchmarkVariedStream|BenchmarkWriteEntry|BenchmarkReadEntry|BenchmarkPoolServe|BenchmarkSubmitWrite'
 BENCH_TOL ?=
 bench-gate:
 	$(GO) test -run '^$$' -bench $(BENCH_GATE_RX) -benchtime 100ms -count 4 $(BENCH_GATE_PKGS) \

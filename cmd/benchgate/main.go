@@ -1,9 +1,9 @@
 // benchgate compares `go test -bench` output on stdin against the pinned
-// ns/entry baseline, failing when a pinned benchmark regressed past
-// tolerance or disappeared. With -write it re-pins the baseline instead.
+// ns/entry and allocs/op baseline, failing when a pinned benchmark regressed
+// past tolerance or disappeared. With -write it re-pins the baseline instead.
 //
-//	go test -run '^$' -bench . -count 3 ./internal/compress/ ./internal/core/ | benchgate -baseline BENCH_baseline.json
-//	go test -run '^$' -bench . -count 3 ./internal/compress/ ./internal/core/ | benchgate -baseline BENCH_baseline.json -write
+//	go test -run '^$' -bench . -count 3 ./internal/compress/ ./internal/core/ ./internal/pool/ | benchgate -baseline BENCH_baseline.json
+//	go test -run '^$' -bench . -count 3 ./internal/compress/ ./internal/core/ ./internal/pool/ | benchgate -baseline BENCH_baseline.json -write
 package main
 
 import (
@@ -27,8 +27,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if len(got) == 0 {
-		fatal(fmt.Errorf("no ns/entry benchmark results on stdin — run with `go test -bench`"))
+	if len(got.NsPerEntry) == 0 && len(got.AllocsPerOp) == 0 {
+		fatal(fmt.Errorf("no ns/entry or allocs/op benchmark results on stdin — run with `go test -bench`"))
 	}
 
 	if *write {
@@ -36,11 +36,16 @@ func main() {
 		if t <= 0 {
 			t = benchgate.DefaultTolerance
 		}
-		b := benchgate.Baseline{Note: *note, Tolerance: t, NsPerEntry: got}
+		b := benchgate.Baseline{
+			Note:        *note,
+			Tolerance:   t,
+			NsPerEntry:  got.NsPerEntry,
+			AllocsPerOp: got.AllocsPerOp,
+		}
 		if err := benchgate.WriteBaseline(*path, b); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchgate: pinned %d benchmarks to %s (tolerance %.2fx)\n", len(got), *path, t)
+		fmt.Printf("benchgate: pinned %d metrics to %s (tolerance %.2fx)\n", b.Pins(), *path, t)
 		return
 	}
 
@@ -53,14 +58,14 @@ func main() {
 	}
 	violations := benchgate.Compare(base, got)
 	if len(violations) == 0 {
-		fmt.Printf("benchgate: %d pinned benchmarks within tolerance\n", len(base.NsPerEntry))
+		fmt.Printf("benchgate: %d pinned metrics within tolerance\n", base.Pins())
 		return
 	}
 	for _, v := range violations {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL %s\n", v)
 	}
-	fmt.Fprintf(os.Stderr, "benchgate: %d of %d pinned benchmarks regressed (re-pin deliberate trade-offs with `make bench-baseline`)\n",
-		len(violations), len(base.NsPerEntry))
+	fmt.Fprintf(os.Stderr, "benchgate: %d of %d pinned metrics regressed (re-pin deliberate trade-offs with `make bench-baseline`)\n",
+		len(violations), base.Pins())
 	os.Exit(1)
 }
 

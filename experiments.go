@@ -317,12 +317,17 @@ func runServe(w io.Writer, sc ExperimentScale) error {
 	}
 	fmt.Fprint(w, exp.FormatTable(
 		[]string{"Shards", "Modeled GB/s", "Service cycles", "Meta hit", "Wall"}, rows))
-	_, err = fmt.Fprintf(w,
+	fmt.Fprintf(w,
 		"%d clients (%d DL + %d HPC working sets), %.1f MiB served per configuration\n"+
 			"aggregate serving throughput %d shards vs 1: %.2fx (equal total capacity)\n",
 		res.Clients, len(res.Benchmarks)/2, len(res.Benchmarks)/2,
 		float64(res.PayloadBytes)/(1<<20),
 		res.Points[len(res.Points)-1].Shards, res.Speedup)
+	if c := res.Chunked; c != nil {
+		_, err = fmt.Fprintf(w,
+			"chunked clients (%d B submits, %d shards): %.2f GB/s wall, %.0f%% of %d tasks coalesced\n",
+			c.ChunkBytes, c.Shards, c.WallGBs, 100*c.CoalescedFrac, c.Submitted)
+	}
 	return err
 }
 

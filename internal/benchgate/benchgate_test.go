@@ -17,6 +17,8 @@ BenchmarkAppendCompressed/bpc/zeros-8    	 5000000	        41.2 ns/op	3105.43 MB
 BenchmarkAppendCompressed/bpc/zeros-8    	 5000000	        39.9 ns/op	3105.43 MB/s	         0 B/op	        39.5 ns/entry
 BenchmarkAppendCompressed/bpc/dense-8    	 1000000	       480.0 ns/op	 266.61 MB/s	         0 B/op	       481.2 ns/entry
 BenchmarkWriteEntry/sparse90-8           	 3000000	       340.1 ns/op	 376.41 MB/s	       341.0 ns/entry
+BenchmarkSubmitWrite-8                   	  100000	     24733 ns/op	 165.69 MB/s	       385 B/op	       5 allocs/op	       772.9 ns/entry
+BenchmarkSubmitWrite-8                   	  100000	     24901 ns/op	 164.57 MB/s	       385 B/op	       3 allocs/op	       778.2 ns/entry
 BenchmarkWriteAtBulk-8                   	     100	    401222 ns/op	1024.00 MB/s
 PASS
 `
@@ -26,18 +28,23 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
+	wantNs := map[string]float64{
 		"AppendCompressed/bpc/zeros": 39.5, // min of the two -count runs
 		"AppendCompressed/bpc/dense": 481.2,
 		"WriteEntry/sparse90":        341.0,
+		"SubmitWrite":                772.9,
 	}
-	if len(got) != len(want) {
-		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
+	if len(got.NsPerEntry) != len(wantNs) {
+		t.Fatalf("parsed %d ns/entry results, want %d: %v", len(got.NsPerEntry), len(wantNs), got.NsPerEntry)
 	}
-	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %v, want %v", name, got[name], ns)
+	for name, ns := range wantNs {
+		if got.NsPerEntry[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got.NsPerEntry[name], ns)
 		}
+	}
+	// allocs/op parsed where present, min of the -count runs.
+	if len(got.AllocsPerOp) != 1 || got.AllocsPerOp["SubmitWrite"] != 3 {
+		t.Errorf("AllocsPerOp = %v, want SubmitWrite: 3", got.AllocsPerOp)
 	}
 }
 
@@ -50,12 +57,12 @@ func TestCompare(t *testing.T) {
 			"WriteEntry/zeros":           100,
 		},
 	}
-	got := map[string]float64{
+	got := Results{NsPerEntry: map[string]float64{
 		"AppendCompressed/bpc/zeros": 51,  // 1.275x: within tolerance
 		"WriteEntry/sparse90":        400, // 1.33x: regression
 		// WriteEntry/zeros missing entirely
 		"AppendCompressed/bpc/new": 10, // unpinned: ignored
-	}
+	}}
 	vs := Compare(base, got)
 	if len(vs) != 2 {
 		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
@@ -63,7 +70,7 @@ func TestCompare(t *testing.T) {
 	if vs[0].Name != "WriteEntry/sparse90" || vs[0].Got != 400 {
 		t.Errorf("violation 0 = %v", vs[0])
 	}
-	if vs[1].Name != "WriteEntry/zeros" || vs[1].Got != 0 {
+	if vs[1].Name != "WriteEntry/zeros" || !vs[1].Missing {
 		t.Errorf("violation 1 = %v (want missing-benchmark violation)", vs[1])
 	}
 	if !strings.Contains(vs[1].String(), "missing") {
@@ -71,9 +78,43 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareAllocs pins the allocation gate's semantics: a 0 pin admits no
+// allocations at all, tolerance applies to non-zero pins, and a pinned
+// benchmark that stops reporting allocs is a violation.
+func TestCompareAllocs(t *testing.T) {
+	base := Baseline{
+		Tolerance: 1.3,
+		AllocsPerOp: map[string]float64{
+			"SubmitWrite":       0,
+			"PoolServe/chunked": 40,
+			"PoolServe/bulk":    100,
+		},
+	}
+	got := Results{AllocsPerOp: map[string]float64{
+		"SubmitWrite":       1,  // any alloc on a 0 pin fails
+		"PoolServe/chunked": 50, // 1.25x: within tolerance
+		// PoolServe/bulk missing
+	}}
+	vs := Compare(base, got)
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+	if vs[0].Name != "PoolServe/bulk" || !vs[0].Missing || vs[0].Metric != "allocs/op" {
+		t.Errorf("violation 0 = %v", vs[0])
+	}
+	if vs[1].Name != "SubmitWrite" || vs[1].Got != 1 {
+		t.Errorf("violation 1 = %v", vs[1])
+	}
+}
+
 func TestBaselineRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "base.json")
-	in := Baseline{Note: "test", Tolerance: 1.3, NsPerEntry: map[string]float64{"A/b": 1.5}}
+	in := Baseline{
+		Note:        "test",
+		Tolerance:   1.3,
+		NsPerEntry:  map[string]float64{"A/b": 1.5},
+		AllocsPerOp: map[string]float64{"A/b": 0},
+	}
 	if err := WriteBaseline(path, in); err != nil {
 		t.Fatal(err)
 	}
@@ -83,6 +124,9 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 	if out.Note != in.Note || out.Tolerance != in.Tolerance || out.NsPerEntry["A/b"] != 1.5 {
 		t.Fatalf("round-trip mismatch: %+v", out)
+	}
+	if v, ok := out.AllocsPerOp["A/b"]; !ok || v != 0 {
+		t.Fatalf("allocs pin lost in round trip: %+v", out)
 	}
 	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("reading a missing baseline should fail")
@@ -139,7 +183,7 @@ func TestGateCatchesSlowedCodec(t *testing.T) {
 	}
 	base := Baseline{Tolerance: 1.3, NsPerEntry: map[string]float64{"AppendCompressed/bpc/sparse90": pinned}}
 
-	if vs := Compare(base, map[string]float64{"AppendCompressed/bpc/sparse90": healthy}); len(vs) != 0 {
+	if vs := Compare(base, Results{NsPerEntry: map[string]float64{"AppendCompressed/bpc/sparse90": healthy}}); len(vs) != 0 {
 		t.Fatalf("healthy codec failed its own gate: %v (flaky machine?)", vs)
 	}
 
@@ -151,7 +195,7 @@ func TestGateCatchesSlowedCodec(t *testing.T) {
 			slowed = ns
 		}
 	}
-	vs := Compare(base, map[string]float64{"AppendCompressed/bpc/sparse90": slowed})
+	vs := Compare(base, Results{NsPerEntry: map[string]float64{"AppendCompressed/bpc/sparse90": slowed}})
 	if len(vs) != 1 {
 		t.Fatalf("slowed codec (%.0f ns vs pinned %.0f ns) passed the gate", slowed, pinned)
 	}

@@ -64,6 +64,48 @@ func BenchmarkAppendCompressed(b *testing.B) {
 	}
 }
 
+// BenchmarkVariedStream measures the BPC codec over 16384 distinct
+// 90%-sparse entries instead of one repeated entry: every iteration decodes
+// a different code sequence, so the branch-predictor warmth that makes
+// single-entry numbers flattering is gone. This is the shape the async
+// serving path actually sees — it is the benchmark that motivated the
+// word-level parse loop and the dense/sparse decode split — and the gate
+// pins it alongside the single-entry matrix.
+func BenchmarkVariedStream(b *testing.B) {
+	const n = 16384
+	data := make([]byte, n*EntryBytes)
+	(gen.SparseFP16{ZeroFrac: 0.9}).Fill(data, gen.NewRNG(7, 1))
+	streams := make([][]byte, n)
+	c := NewBPC()
+	for i := 0; i < n; i++ {
+		s, _ := c.AppendCompressed(nil, data[i*EntryBytes:(i+1)*EntryBytes])
+		streams[i] = s
+	}
+	b.Run("encode", func(b *testing.B) {
+		scratch := make([]byte, 0, MaxStreamBytes)
+		b.SetBytes(EntryBytes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, _ := c.AppendCompressed(scratch[:0], data[(i%n)*EntryBytes:(i%n+1)*EntryBytes])
+			scratch = s[:0]
+		}
+		reportNsPerEntry(b)
+	})
+	b.Run("decode", func(b *testing.B) {
+		dst := make([]byte, EntryBytes)
+		b.SetBytes(EntryBytes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.DecompressInto(dst, streams[i%n]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportNsPerEntry(b)
+	})
+}
+
 // BenchmarkDecompressInto measures one full decode into caller memory, per
 // codec per shape.
 func BenchmarkDecompressInto(b *testing.B) {

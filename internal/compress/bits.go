@@ -114,26 +114,42 @@ func (r *BitReader) Reset(buf []byte) {
 
 // ReadBits reads n bits and returns them right-aligned. Reading past the end
 // of the buffer yields zero bits, which callers treat as a framing error via
-// Overrun. Like WriteBits it consumes byte-sized chunks, not single bits.
+// Overrun. The read is word-based: one unaligned 8-byte load covers any
+// n <= 57 regardless of bit offset (the decoder's plane probes and raw-plane
+// reads all fit), with a ninth byte only for the 64-bit reads near a byte
+// boundary and a padded assembly loop only inside the last 7 bytes of the
+// stream.
+//
+//buddy:hotpath
 func (r *BitReader) ReadBits(n int) uint64 {
-	var v uint64
-	for n > 0 {
-		byteIdx := r.pos >> 3
-		if byteIdx >= len(r.buf) {
-			v <<= uint(n)
-			r.pos += n
-			return v
-		}
-		off := r.pos & 7
-		take := 8 - off
-		if take > n {
-			take = n
-		}
-		v = v<<uint(take) | uint64(r.buf[byteIdx]<<uint(off)>>uint(8-take))
-		r.pos += take
-		n -= take
+	if n <= 0 {
+		return 0
 	}
-	return v
+	pos := r.pos
+	r.pos = pos + n
+	i := pos >> 3
+	var w uint64
+	if i+8 <= len(r.buf) {
+		w = binary.BigEndian.Uint64(r.buf[i:])
+	} else {
+		for j, rem := 0, len(r.buf)-i; j < rem; j++ {
+			w |= uint64(r.buf[i+j]) << uint(56-8*j)
+		}
+	}
+	sh := uint(pos & 7)
+	w <<= sh
+	if n <= 64-int(sh) {
+		return w >> (64 - uint(n))
+	}
+	// The tail of the value spills past the 8 loaded bytes (possible only for
+	// n >= 58 off a byte boundary): fetch the missing high bits of the ninth
+	// byte, zero past the end like the loop above.
+	var b byte
+	if i+8 < len(r.buf) {
+		b = r.buf[i+8]
+	}
+	missing := uint(n) - (64 - sh)
+	return w>>(64-uint(n)) | uint64(b)>>(8-missing)
 }
 
 // PeekBits returns the next n bits without consuming them, zero-filled past

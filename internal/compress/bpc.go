@@ -70,21 +70,22 @@ const (
 const bpcStreamWords = 18
 
 // bpcPut appends the low n bits of v (MSB first) to the register buffer at
-// bit cursor pos and returns the advanced cursor. One shift-or when the code
-// fits the current word, two when it spills — no length tracking, no byte
-// appends, which is what lets the encoder skip the BitWriter entirely until
-// the final bulk store.
+// bit cursor pos and returns the advanced cursor. The value is left-aligned
+// once and both the current and the next word are OR-ed unconditionally —
+// when the code does not spill, the second OR contributes zero (a shift by
+// 64 yields 0) — so the put has no does-it-spill branch; the cursor's word
+// alignment is data-dependent and the branch would mispredict about as often
+// as not. The buffer has a spare word past the worst-case stream, so wi+1 is
+// always in range. No length tracking, no byte appends: this is what lets
+// the encoder skip the BitWriter entirely until the final bulk store.
 //
 //buddy:hotpath
 func bpcPut(sb *[bpcStreamWords]uint64, pos int, v uint64, n int) int {
+	lv := v << uint(64-n)
+	off := uint(pos) & 63
 	wi := pos >> 6
-	if rem := 64 - uint(pos&63); uint(n) <= rem {
-		sb[wi] |= v << (rem - uint(n))
-	} else {
-		k := uint(n) - rem
-		sb[wi] |= v >> k
-		sb[wi+1] |= v << (64 - k)
-	}
+	sb[wi] |= lv >> off
+	sb[wi+1] |= lv << (64 - off)
 	return pos + n
 }
 
@@ -152,12 +153,16 @@ func (BPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	pos := 1
 
 	// Sparsity pre-pass over the entry's sixteen 64-bit words: compute the
-	// 33-bit deltas and their transition masks, recording only the non-zero
-	// ones. rows holds each mask's low 32 bits two deltas per word (delta 2m
-	// in the low lane of rows[m] — the packed layout transpose32 wants); p32
-	// collects the mask bit-32 column, which is the whole of plane 32. A
-	// zero 64-bit word following a zero half skips both of its deltas with
-	// one compare, so runs of zero words cost one comparison per 8 bytes.
+	// 33-bit deltas and their transition masks. rows holds each mask's low 32
+	// bits two deltas per word (delta 2m in the low lane of rows[m] — the
+	// packed layout transpose32 wants); p32 collects the mask bit-32 column,
+	// which is the whole of plane 32. The body is branch-free on the delta
+	// values: a zero delta contributes nothing to any accumulator (its mask is
+	// zero, and `andE &= 0` agrees with the nnz < 31 correction below), the
+	// idx slot it wrote is either overwritten or never read, and the non-zero
+	// count advances by a flag bit instead of a branch — delta values are the
+	// least predictable data in the entry, and a mispredict costs more than
+	// the handful of ALU ops a zero delta's dead update takes.
 	var rows [entryWordCount]uint64
 	var idx [bpcDeltas]uint8
 	var p32 uint32
@@ -170,32 +175,27 @@ func (BPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 		lo := int64(uint32(w64))
 		hi := int64(w64 >> 32)
 		if k > 0 {
-			if w64|uint64(prev) == 0 {
-				continue
-			}
-			if d := uint64(lo-prev) & bpcMask33; d != 0 {
-				e := d ^ (d >> 1)
-				orD |= d
-				orE |= e
-				andE &= e
-				i := 2*k - 1 // odd: high lane of rows[k-1]
-				rows[k-1] |= e << 32
-				p32 |= uint32(e>>32) << uint(i)
-				idx[nnz] = uint8(i)
-				nnz++
-			}
-		}
-		if d := uint64(hi-lo) & bpcMask33; d != 0 {
+			d := uint64(lo-prev) & bpcMask33
 			e := d ^ (d >> 1)
 			orD |= d
 			orE |= e
 			andE &= e
-			i := 2 * k // even: low lane of rows[k]
-			rows[k] |= e & 0xFFFFFFFF
+			i := 2*k - 1 // odd: high lane of rows[k-1]
+			rows[k-1] |= e << 32
 			p32 |= uint32(e>>32) << uint(i)
 			idx[nnz] = uint8(i)
-			nnz++
+			nnz += int((d | -d) >> 63)
 		}
+		d := uint64(hi-lo) & bpcMask33
+		e := d ^ (d >> 1)
+		orD |= d
+		orE |= e
+		andE &= e
+		i := 2 * k // even: low lane of rows[k]
+		rows[k] |= e & 0xFFFFFFFF
+		p32 |= uint32(e>>32) << uint(i)
+		idx[nnz] = uint8(i)
+		nnz += int((d | -d) >> 63)
 		prev = hi
 	}
 	if nnz < bpcDeltas {
@@ -239,46 +239,85 @@ func (BPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 		}
 		b--
 	}
-	for b >= 0 {
-		var rv uint64 // pending run code, emitted fused with the next plane
-		rn := 0
-		if orE>>uint(b)&1 == 0 {
-			hb := bits.Len64(orE&(uint64(1)<<uint(b)-1)) - 1
-			rv, rn = 0b001, 3
-			if run := b - hb; run != 1 {
-				rv, rn = 0b01_00000|uint64(run-2), 7
+	if usePlanes {
+		// Transposed path: every plane's 31 bits are one lane extraction, so
+		// the need test no longer guards expensive work and both it and the
+		// raw-vs-short discrimination reduce to value selects — the only
+		// data-dependent control flow left per plane is the zero-run hop.
+		for b >= 0 {
+			var rv uint64 // pending run code, emitted fused with the next plane
+			rn := 0
+			if orE>>uint(b)&1 == 0 {
+				hb := bits.Len64(orE&(uint64(1)<<uint(b)-1)) - 1
+				rv, rn = 0b001, 3
+				if run := b - hb; run != 1 {
+					rv, rn = 0b01_00000|uint64(run-2), 7
+				}
+				b = hb
+				if b < 0 {
+					pos = bpcPut(&sbuf, pos, rv, rn)
+					break
+				}
 			}
-			b = hb
-			if b < 0 {
-				pos = bpcPut(&sbuf, pos, rv, rn)
-				break
-			}
+			// Both discriminations below are pure mask arithmetic — the plane
+			// class is the least predictable quantity in the stream, and a
+			// mispredicted branch costs more than the dozen ALU ops the masked
+			// selects take.
+			plane := uint32(rows[b>>1] >> (uint(b&1) * 32))
+			tz := bits.TrailingZeros32(plane)
+			pp := uint64(plane >> uint(tz))
+			// mShort = all-ones iff the plane is a one/two-ones pattern
+			// (pp == 1 or pp == 3, i.e. (pp|2)^3 == 0).
+			q := (pp | 2) ^ 3
+			mShort := (q|-q)>>63 - 1
+			// mAgg = all-ones iff the aggregates classify the plane (need bit 0).
+			mAgg := need>>uint(b)&1 - 1
+			vShort := (0b00010|(3-pp)>>1)<<5 | uint64(tz)
+			vRaw := uint64(1)<<bpcDeltas | uint64(plane)
+			vAgg := ^andE >> uint(b) & 1
+			v := (vRaw&^mShort|vShort&mShort)&^mAgg | vAgg&mAgg
+			n := int(32 - 22&mShort&^mAgg - 27&mAgg)
+			pos = bpcPut(&sbuf, pos, rv<<uint(n)|v, rn+n)
+			b--
 		}
-		// Planes that must materialize values are the common case on real
-		// data, so the need test leads.
-		var v uint64
-		var n int
-		if need>>uint(b)&1 == 1 {
-			var plane uint32
-			if usePlanes {
-				plane = uint32(rows[b>>1] >> (uint(b&1) * 32))
-			} else {
+	} else {
+		for b >= 0 {
+			var rv uint64 // pending run code, emitted fused with the next plane
+			rn := 0
+			if orE>>uint(b)&1 == 0 {
+				hb := bits.Len64(orE&(uint64(1)<<uint(b)-1)) - 1
+				rv, rn = 0b001, 3
+				if run := b - hb; run != 1 {
+					rv, rn = 0b01_00000|uint64(run-2), 7
+				}
+				b = hb
+				if b < 0 {
+					pos = bpcPut(&sbuf, pos, rv, rn)
+					break
+				}
+			}
+			// Planes that must materialize values gather over just the
+			// non-zero deltas; the need test keeps the gather off the
+			// aggregate-classified planes.
+			var v uint64
+			var n int
+			if need>>uint(b)&1 == 1 {
+				var plane uint32
 				for k := 0; k < nnz; k++ {
 					i := idx[k]
 					plane |= uint32(rows[i>>1]>>(uint(i&1)*32+uint(b))&1) << i
 				}
+				tz := bits.TrailingZeros32(plane)
+				v, n = uint64(1)<<bpcDeltas|uint64(plane), 32
+				if p := plane >> uint(tz); p|2 == 3 {
+					v, n = (0b00010|uint64(3-p)>>1)<<5|uint64(tz), 10
+				}
+			} else {
+				v, n = ^andE>>uint(b)&1, 5
 			}
-			tz := bits.TrailingZeros32(plane)
-			v, n = uint64(1)<<bpcDeltas|uint64(plane), 32
-			if p := plane >> uint(tz); p|2 == 3 {
-				// p==3: two consecutive ones (00010); p==1: single one (00011).
-				v, n = (0b00010|uint64(3-p)>>1)<<5|uint64(tz), 10
-			}
-		} else {
-			v, n = ^andE>>uint(b)&1, 5
+			pos = bpcPut(&sbuf, pos, rv<<uint(n)|v, rn+n)
+			b--
 		}
-		pos = bpcPut(&sbuf, pos, rv<<uint(n)|v, rn+n)
-		b--
 	}
 	if bits := pos - 1; bits < bpcRawBits {
 		// One bulk store: the register words are already the big-endian
@@ -304,88 +343,170 @@ func (BPC) AppendCompressed(dst, entry []byte) ([]byte, int) {
 	return bpcRaw(dst, entry)
 }
 
-// bpcDecodeLUT classifies a plane code by its first five bits (the longest
-// prefix): one table probe replaces the bit-by-bit prefix walk. skip is the
-// code's prefix length; payload bits (run length, position, raw plane) are
-// read after the skip.
-var bpcDecodeLUT [32]struct{ kind, skip uint8 }
+// bpcPeekWord is the decoder's out-of-line peek for when byte pos>>3 lands
+// in the last 7 bytes of the stream (the caller's precondition): the 64-bit
+// window at bit pos, left-aligned (bit pos as MSB), zero-filled past the end
+// of buf. Streams of 8+ bytes use one backward-aligned load — the last 8
+// bytes shifted up so byte pos>>3 becomes the MSB, with bytes past the end
+// falling off as zeros (a shift of 64+ in Go is 0, which covers cursors
+// already past the buffer). Only sub-8-byte streams walk bytes.
+func bpcPeekWord(buf []byte, pos int) uint64 {
+	i := pos >> 3
+	if n := len(buf); n >= 8 {
+		return binary.BigEndian.Uint64(buf[n-8:]) << uint(8*(i-n+8)+pos&7)
+	}
+	var w uint64
+	for j, rem := 0, len(buf)-i; j < rem && j < 8; j++ {
+		w |= uint64(buf[i+j]) << uint(56-8*j)
+	}
+	return w << uint(pos&7)
+}
 
+// The four 5-bit plane codes, as the value of the code's five leading bits.
+// The raw (1...), run (01...) and single-zero (001) codes are discriminated
+// by magnitude of the peeked word before these values come into play.
 const (
 	bpcKAllOnes = iota // 00000
 	bpcKDBPZero        // 00001
 	bpcKTwo            // 00010 + 5-bit position
 	bpcKOne            // 00011 + 5-bit position
-	bpcKZero1          // 001
-	bpcKRun            // 01 + 5-bit (run-2)
-	bpcKRaw            // 1 + 31 raw bits
 )
 
-func init() {
-	for v := 0; v < 32; v++ {
-		e := &bpcDecodeLUT[v]
-		switch {
-		case v >= 16: // 1xxxx
-			e.kind, e.skip = bpcKRaw, 1
-		case v >= 8: // 01xxx
-			e.kind, e.skip = bpcKRun, 2
-		case v >= 4: // 001xx
-			e.kind, e.skip = bpcKZero1, 3
-		default: // 0000x, 0001x
-			e.kind, e.skip = uint8(v), 5
-		}
-	}
-}
-
 // DecompressInto implements Codec. Instead of rebuilding 33 DBP planes and
-// gathering 31x33 bits back into words, the decoder scatters each plane's
-// DBX bits into per-delta transition masks (work proportional to the
-// stream's popcount), inverts the transition transform with a
-// parallel-prefix XOR, and prefix-sums the words.
+// gathering 31x33 bits back into words, the decoder collects the DBX planes
+// as it parses, converts them to per-delta transition masks — one fixed-cost
+// butterfly transpose when the planes are dense, a popcount-proportional
+// scatter when they are sparse, mirroring the encoder's gather-vs-transpose
+// split — then inverts the transition transform with a parallel-prefix XOR
+// and prefix-sums the words.
 //
 //buddy:hotpath
 func (BPC) DecompressInto(dst, comp []byte) error {
 	checkDst(dst)
-	r := NewBitReader(comp)
-	if r.ReadBits(1) == 1 {
+	n8 := len(comp) - 8
+	// Frame bit and base value resolve from one peek of the stream head, the
+	// same shape as the plane loop below: the longest prefix (frame 0 + base
+	// flag 1 + 32 base bits) is 34 bits, well inside the window.
+	var w0 uint64
+	if n8 >= 0 {
+		w0 = binary.BigEndian.Uint64(comp)
+	} else {
+		w0 = bpcPeekWord(comp, 0)
+	}
+	if w0>>63 == 1 {
+		r := NewBitReader(comp)
+		r.Skip(1)
 		return decodeRawEntry(dst, r)
 	}
-	base := bpcReadBase(r)
-	var trans [bpcDeltas]uint64
+	var base uint32
+	var pos int // local bit cursor: the parse loop peeks and skips inline
+	if w0<<1>>63 == 1 {
+		base = uint32(w0 >> 30) // flag 1: raw 32-bit base at bits 2..33
+		pos = 34
+	} else {
+		switch w0 >> 60 & 3 { // flag 0: 2-bit size class, sign-extended value
+		case 0b00:
+			base, pos = 0, 4
+		case 0b01:
+			base, pos = uint32(int64(w0<<4)>>60), 8
+		case 0b10:
+			base, pos = uint32(int64(w0<<4)>>56), 12
+		default:
+			base, pos = uint32(int64(w0<<4)>>48), 20
+		}
+	}
+	var planes [bpcPlanes]uint32
+	var nz uint64    // mask of planes with a non-zero DBX
+	pop := 0         // total DBX bits, the sparse path's scatter cost
 	acc := uint32(0) // DBP plane b+1 while processing plane b
 	b := bpcPlanes - 1
 	for b >= 0 {
-		c := bpcDecodeLUT[r.PeekBits(5)]
-		r.Skip(int(c.skip))
+		// One 32-bit peek covers the longest code (raw: 1 + 31 plane bits), so
+		// class, run length, position payload and raw plane bits all resolve
+		// from the peeked word with shifts, and the stream advances by cursor
+		// adds alone. The peek itself is a single unaligned load inlined here —
+		// the call-free body is what keeps the per-code cost flat — with the
+		// padded assembly loop only inside the stream's last 7 bytes.
+		var w uint64
+		if i := pos >> 3; i <= n8 {
+			w = binary.BigEndian.Uint64(comp[i:]) << uint(pos&7)
+		} else {
+			w = bpcPeekWord(comp, pos)
+		}
+		p := uint32(w >> 32)
 		var dbx uint32
-		switch c.kind {
-		case bpcKRun:
-			b -= int(r.ReadBits(5)) + 2
+		switch {
+		case p >= 1<<31: // 1 + raw plane
+			dbx = p & allOnes31
+			pos += 32
+		case p >= 1<<30: // 01 + 5-bit (run-2): all-zero run of 2..33
+			pos += 7
+			b -= int(p>>25&31) + 2
 			continue
-		case bpcKZero1:
+		case p >= 1<<29: // 001: all-zero run of 1
+			pos += 3
 			b--
 			continue
-		case bpcKRaw:
-			dbx = uint32(r.ReadBits(bpcDeltas))
-		case bpcKAllOnes:
-			dbx = allOnes31
-		case bpcKDBPZero:
-			dbx = acc // DBP[b] == 0, so DBX[b] == DBP[b+1]
-		case bpcKTwo:
-			dbx = uint32(3) << uint(r.ReadBits(5)) & allOnes31
-		default: // bpcKOne
-			dbx = uint32(1) << uint(r.ReadBits(5)) & allOnes31
+		default: // five-bit codes 0000x / 0001x
+			switch pos5 := p >> 22 & 31; p >> 27 {
+			case bpcKAllOnes:
+				dbx = allOnes31
+				pos += 5
+			case bpcKDBPZero:
+				dbx = acc // DBP[b] == 0, so DBX[b] == DBP[b+1]
+				pos += 5
+			case bpcKTwo:
+				dbx = uint32(3) << pos5 & allOnes31
+				pos += 10
+			default: // bpcKOne
+				dbx = uint32(1) << pos5 & allOnes31
+				pos += 10
+			}
 		}
 		acc ^= dbx
-		for m := dbx; m != 0; m &= m - 1 {
-			trans[bits.TrailingZeros32(m)] |= 1 << uint(b)
-		}
+		planes[b] = dbx
+		nz |= uint64(1) << uint(b)
+		pop += bits.OnesCount32(dbx)
 		b--
 	}
-	if r.Overrun() {
+	if pos > len(comp)*8 {
 		return ErrCorrupt
 	}
+
+	// Rebuild the deltas from the collected DBX planes. Dense plane sets (most
+	// varied real data) first invert DBX back to DBP with one running
+	// suffix-XOR over the 32 low planes — 32 XORs replace the per-delta
+	// parallel-prefix chain — then one 32x32 butterfly transpose of the DBP
+	// planes yields each delta's low 32 bits directly (plane 32 is the 33-bit
+	// sign, which vanishes mod 2^32 and needs no reconstruction at all).
+	// Sparse sets scatter just the DBX bits per delta and invert with the
+	// parallel-prefix XOR instead, which is cheaper below the same ~128-bit
+	// break-even the encoder uses.
 	wv := base
 	binary.LittleEndian.PutUint32(dst, wv)
+	if pop >= 48 {
+		var rows [entryWordCount]uint64
+		dbp := planes[bpcPlanes-1] // DBP[32] == DBX[32], since DBP[33] == 0
+		for m := entryWordCount - 1; m >= 0; m-- {
+			hi := dbp ^ planes[2*m+1]
+			lo := hi ^ planes[2*m]
+			rows[m] = uint64(lo) | uint64(hi)<<32
+			dbp = lo
+		}
+		transpose32(&rows)
+		for i := 0; i < bpcDeltas; i++ {
+			wv += uint32(rows[i>>1] >> (uint(i&1) * 32))
+			binary.LittleEndian.PutUint32(dst[(i+1)*4:], wv)
+		}
+		return nil
+	}
+	var trans [bpcDeltas]uint64
+	for ; nz != 0; nz &= nz - 1 {
+		b := bits.TrailingZeros64(nz)
+		for m := planes[b]; m != 0; m &= m - 1 {
+			trans[bits.TrailingZeros32(m)] |= 1 << uint(b)
+		}
+	}
 	for i := 0; i < bpcDeltas; i++ {
 		// Invert e = d ^ (d>>1): bit k of d is the XOR of e's bits >= k.
 		d := trans[i]

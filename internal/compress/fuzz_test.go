@@ -85,8 +85,8 @@ func FuzzDecompressArbitrary(f *testing.F) {
 	f.Add([]byte{0xFF})
 	f.Add([]byte{0x00, 0x00, 0x00})
 	f.Add(bytes.Repeat([]byte{0x55}, 192))
-	f.Add(make([]byte, 132))    // all-zero stream: zero frame bits + padding
-	f.Add([]byte{0x00, 0x80})   // short stream with one set bit
+	f.Add(make([]byte, 132))        // all-zero stream: zero frame bits + padding
+	f.Add([]byte{0x00, 0x80})       // short stream with one set bit
 	f.Add([]byte{0x40, 0x00, 0x01}) // sparse stream: run codes then a one
 	f.Fuzz(func(t *testing.T, comp []byte) {
 		dst := make([]byte, EntryBytes)

@@ -20,7 +20,12 @@ func NewFVC() FVC { return FVC{} }
 // Name implements Codec.
 func (FVC) Name() string { return "fvc" }
 
-const fvcDictMax = 8
+// fvcDictMax is the dictionary capacity: 7, not 8, because the 3-bit count
+// header must represent every possible size 0..nd. An 8-entry table trained
+// on an entry with eight distinct repeated values would write its count as
+// 0b000 and corrupt the stream (found by FuzzRoundTrip; the offending entry
+// is pinned in testdata/fuzz).
+const fvcDictMax = 7
 
 // fvcEncode writes the unframed FVC stream for the entry's word view. The
 // frequent-value dictionary is the up-to-8 first-seen values occurring at

@@ -139,6 +139,21 @@ func NewSlabBackend(capacity int64) *SlabBackend {
 	return &SlabBackend{capacityMeter: capacityMeter{name: "device-slab", capacity: capacity}}
 }
 
+// StoreSpan folds k entry writes totaling n bytes into the meter with one
+// pair of atomic adds — the batch span kernels' amortized accounting. The
+// totals are identical to k individual Store calls.
+func (b *SlabBackend) StoreSpan(k int, n uint64) {
+	b.stores.Add(uint64(k))
+	b.writtenBytes.Add(n)
+}
+
+// LoadSpan folds k entry reads totaling n bytes into the meter, like
+// StoreSpan.
+func (b *SlabBackend) LoadSpan(k int, n uint64) {
+	b.loads.Add(uint64(k))
+	b.readBytes.Add(n)
+}
+
 // CarveoutBackend is the paper's overflow tier: a carve-out of buddy memory
 // reached over the NVLink interconnect (§2.3). Transfers are pushed through
 // an nvlink.Link so link occupancy per direction is modeled alongside the

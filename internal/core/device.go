@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -154,7 +155,9 @@ type Device struct {
 	cfg      Config
 	primary  Backend
 	overflow Backend
+	slab     *SlabBackend // primary, concretely typed for span accounting
 	mcache   *MetadataCache
+	span     *spanPool // persistent span-worker pool, sized at NewDevice
 
 	migMu sync.Mutex // serializes Free/Retarget/ApplyReprofile
 
@@ -213,16 +216,34 @@ func NewDevice(cfg Config) *Device {
 	if overflow == nil {
 		overflow = NewCarveoutBackend(cfg.DeviceBytes*int64(cfg.CarveoutFactor), cfg.Link)
 	}
+	slab := NewSlabBackend(cfg.DeviceBytes)
 	d := &Device{
 		cfg:      cfg,
-		primary:  NewSlabBackend(cfg.DeviceBytes),
+		primary:  slab,
+		slab:     slab,
 		overflow: overflow,
+		span:     newSpanPool(runtime.GOMAXPROCS(0)),
 		meta:     NewMetadataStore(0),
 		mcache:   NewMetadataCache(cfg.MetadataCacheBytes, cfg.MetadataCacheSlices, cfg.MetadataCacheWays),
 		gbbr:     0x4000_0000_0000, // arbitrary carve-out base
 	}
 	d.metaEnabled.Store(true)
+	if d.span.chunks != nil {
+		// Backstop for devices discarded without Close: retire the span
+		// workers when the device is collected, so a test or sweep that
+		// churns devices does not accumulate parked goroutines.
+		runtime.AddCleanup(d, func(sp *spanPool) { sp.close() }, d.span)
+	}
 	return d
+}
+
+// Close retires the device's persistent span-worker pool. The device and
+// its allocations stay fully usable — batch spans simply run inline on
+// their callers afterwards. Closing twice is a no-op; devices discarded
+// without Close are cleaned up when garbage-collected.
+func (d *Device) Close() error {
+	d.span.close()
+	return nil
 }
 
 // Allocation is one compressed cudaMalloc region on a device. It lives

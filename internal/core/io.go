@@ -51,6 +51,37 @@ func (a *Allocation) partialSpan(off int64, want int) (entryIdx, within, avail i
 	return entryIdx, within, avail
 }
 
+// entryScratchPool recycles the one-entry staging buffer the partial-edge
+// read-modify-write paths use. A plain local array would escape through the
+// codec interface call and put one heap allocation on every ReadAt/WriteAt —
+// including fully aligned calls that never touch an edge.
+var entryScratchPool = sync.Pool{New: func() any { return new([EntryBytes]byte) }}
+
+// readPartial decodes the bounding entry of an unaligned edge into pooled
+// scratch and copies the window starting at within into dst.
+func (a *Allocation) readPartial(e, within int, dst []byte) error {
+	buf := entryScratchPool.Get().(*[EntryBytes]byte)
+	err := a.ReadEntry(e, buf[:])
+	if err == nil {
+		copy(dst, buf[within:])
+	}
+	entryScratchPool.Put(buf)
+	return err
+}
+
+// writePartial read-modifies-writes the entry only partially covered by src
+// at offset within, preserving the neighbouring bytes.
+func (a *Allocation) writePartial(e, within int, src []byte) error {
+	buf := entryScratchPool.Get().(*[EntryBytes]byte)
+	err := a.ReadEntry(e, buf[:])
+	if err == nil {
+		copy(buf[within:within+len(src)], src)
+		err = a.WriteEntry(e, buf[:])
+	}
+	entryScratchPool.Put(buf)
+	return err
+}
+
 // ReadAt implements io.ReaderAt: it reads len(p) bytes starting at byte
 // offset off, decompressing the covering entries — the aligned interior in
 // parallel, straight into p. It returns io.EOF when the read reaches past
@@ -59,7 +90,6 @@ func (a *Allocation) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("core: negative offset %d", off)
 	}
-	var entry [EntryBytes]byte
 	n := 0
 	for n < len(p) && off < a.size {
 		if full := a.alignedSpan(off, len(p)-n); full > 0 {
@@ -73,12 +103,11 @@ func (a *Allocation) ReadAt(p []byte, off int64) (int, error) {
 		}
 		// Partial entry at an edge: decode and take the covered piece.
 		e, within, avail := a.partialSpan(off, len(p)-n)
-		if err := a.ReadEntry(e, entry[:]); err != nil {
+		if err := a.readPartial(e, within, p[n:n+avail]); err != nil {
 			return n, err
 		}
-		c := copy(p[n:n+avail], entry[within:])
-		n += c
-		off += int64(c)
+		n += avail
+		off += int64(avail)
 	}
 	if n < len(p) {
 		return n, io.EOF
@@ -96,7 +125,6 @@ func (a *Allocation) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("core: negative offset %d", off)
 	}
-	var entry [EntryBytes]byte
 	n := 0
 	for n < len(p) && off < a.size {
 		if full := a.alignedSpan(off, len(p)-n); full > 0 {
@@ -110,11 +138,7 @@ func (a *Allocation) WriteAt(p []byte, off int64) (int, error) {
 		}
 		// Partially covered entry at an edge: read-modify-write it.
 		e, within, avail := a.partialSpan(off, len(p)-n)
-		if err := a.ReadEntry(e, entry[:]); err != nil {
-			return n, err
-		}
-		copy(entry[within:within+avail], p[n:])
-		if err := a.WriteEntry(e, entry[:]); err != nil {
+		if err := a.writePartial(e, within, p[n:n+avail]); err != nil {
 			return n, err
 		}
 		n += avail

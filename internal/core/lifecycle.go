@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync/atomic"
 )
 
 // Allocation lifecycle and live target-ratio migration (the §3.4 extension:
@@ -55,7 +56,24 @@ type migration struct {
 	target TargetRatio
 	reg    region
 	moved  []bool
-	bytes  int64 // stored bytes re-packed so far; guarded by the span pool's completion
+	bytes  atomic.Int64 // stored bytes re-packed so far
+}
+
+// migrateSpan is the spanRunner that streams one allocation's entries to
+// its migration's new layout across the device's span-worker pool.
+type migrateSpan struct {
+	d   *Device
+	a   *Allocation
+	mig *migration
+}
+
+func (s *migrateSpan) runSpan(lo, hi int) error {
+	var moved int64
+	for i := lo; i < hi; i++ {
+		moved += s.d.migrateEntry(s.a, s.mig, i)
+	}
+	s.mig.bytes.Add(moved)
+	return nil
 }
 
 // grabRegion hands out a region of the given shape, reusing the first
@@ -237,19 +255,10 @@ func (d *Device) retarget(a *Allocation, target TargetRatio, expectOld *TargetRa
 	a.mig = mig
 	d.mu.Unlock()
 
-	// Stream every entry to the new layout. parallelSpan's workers cannot
-	// fail here (migrateEntry has no error path), and entries written
+	// Stream every entry to the new layout. The span workers cannot fail
+	// here (migrateEntry has no error path), and entries written
 	// concurrently after their move land in the new layout directly.
-	_ = parallelSpan(entries, func(lo, hi int) error {
-		var moved int64
-		for i := lo; i < hi; i++ {
-			moved += d.migrateEntry(a, mig, i)
-		}
-		d.mu.Lock()
-		mig.bytes += moved
-		d.mu.Unlock()
-		return nil
-	})
+	_ = d.span.run(entries, &migrateSpan{d: d, a: a, mig: mig})
 
 	// Commit: swap the layout and retire the old region.
 	d.mu.Lock()
@@ -257,7 +266,7 @@ func (d *Device) retarget(a *Allocation, target TargetRatio, expectOld *TargetRa
 	a.target = target
 	a.reg = mig.reg
 	a.mig = nil
-	moved := mig.bytes
+	moved := mig.bytes.Load()
 	d.freeRegion(oldReg)
 	d.mu.Unlock()
 

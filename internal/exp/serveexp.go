@@ -63,6 +63,29 @@ type ServePoint struct {
 	ShardServiceCycles []float64
 }
 
+// ServeChunked is the chunked-stream client shape's measurement: the same
+// client population streaming ChunkBytes-sized pieces through the
+// submission queues open-loop instead of one whole-region submit per
+// allocation. Many small adjacent in-flight tasks is the shape the shard
+// workers' run coalescing exists for, so this leg reports the host-side
+// wall throughput of the async path itself alongside how much of the
+// submitted traffic actually executed inside coalesced spans.
+type ServeChunked struct {
+	// ChunkBytes is the fixed submit granularity.
+	ChunkBytes int
+	// Shards is the pool width the chunked leg ran against.
+	Shards int
+	// WallSeconds and WallGBs are the host-side wall time and payload rate
+	// (this machine's codec throughput through the async path, not the
+	// modeled GPUs).
+	WallSeconds float64
+	WallGBs     float64
+	// Submitted counts tasks accepted onto the submission queues;
+	// CoalescedFrac is the fraction that executed inside a coalesced run.
+	Submitted     uint64
+	CoalescedFrac float64
+}
+
 // ServeResult is the serve experiment's outcome.
 type ServeResult struct {
 	// Clients and Benchmarks describe the client population.
@@ -77,6 +100,8 @@ type ServeResult struct {
 	// Speedup is the last point's modeled throughput over the first's —
 	// the aggregate gain of sharding at equal total capacity.
 	Speedup float64
+	// Chunked is the chunked-stream leg, run at the widest configuration.
+	Chunked *ServeChunked
 }
 
 // serveClient is one client's working set: its profiled allocations and
@@ -183,6 +208,86 @@ func servePool(p *pool.Pool, clients []serveClient) (int64, error) {
 	return payload, firstE
 }
 
+// serveChunkBytes is the chunked leg's submit granularity: 4 KiB, 32
+// entries — small enough that coalescing matters, large enough that the
+// queues stay saturated.
+const serveChunkBytes = 4096
+
+// serveChunkedPool streams the client population through one pool in
+// serveChunkBytes pieces: every client submits all of a region's chunk
+// writes open-loop before waiting, then does the same for the read-back, so
+// the shard queues always hold runs of adjacent tasks for the workers to
+// coalesce. Returns the payload bytes moved.
+func serveChunkedPool(p *pool.Pool, clients []serveClient) (int64, error) {
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstE  error
+		payload int64
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstE == nil {
+			firstE = err
+		}
+		mu.Unlock()
+	}
+	for c := range clients {
+		wg.Add(1)
+		go func(cl *serveClient) {
+			defer wg.Done()
+			var moved int64
+			var futs []*pool.Future
+			stream := func(h *pool.Handle, buf []byte, read bool) {
+				for off := 0; off < len(buf); off += serveChunkBytes {
+					end := min(off+serveChunkBytes, len(buf))
+					if read {
+						futs = append(futs, p.SubmitRead(h, buf[off:end], int64(off)))
+					} else {
+						futs = append(futs, p.SubmitWrite(h, buf[off:end], int64(off)))
+					}
+				}
+			}
+			drain := func(what string) bool {
+				for _, f := range futs {
+					n, err := f.Wait()
+					if err != nil {
+						fail(fmt.Errorf("chunked %s: %w", what, err))
+						return false
+					}
+					moved += int64(n)
+				}
+				futs = futs[:0]
+				return true
+			}
+			handles := make([]*pool.Handle, len(cl.names))
+			for i, name := range cl.names {
+				h, err := p.Malloc(name, int64(len(cl.data[i])), cl.targets[name])
+				if err != nil {
+					fail(err)
+					return
+				}
+				handles[i] = h
+				stream(h, cl.data[i], false)
+			}
+			if !drain("write") {
+				return
+			}
+			for i, h := range handles {
+				stream(h, make([]byte, h.Size()), true)
+				if !drain("read " + cl.names[i]) {
+					return
+				}
+			}
+			mu.Lock()
+			payload += moved
+			mu.Unlock()
+		}(&clients[c])
+	}
+	wg.Wait()
+	return payload, firstE
+}
+
 // serviceCycles models one shard's serving time from its telemetry:
 // device-memory bytes at the Tab. 2 aggregate HBM2 bandwidth plus the
 // overflow link's busier direction (full duplex). Link busy cycles come
@@ -265,6 +370,41 @@ func Serve(scale, shards int) (*ServeResult, error) {
 	}
 	if first := res.Points[0].ThroughputGBs; first > 0 {
 		res.Speedup = res.Points[len(res.Points)-1].ThroughputGBs / first
+	}
+
+	// The chunked-stream leg: same fleet capacity at the widest
+	// configuration, but the clients submit in 4 KiB pieces. This is the
+	// client shape the workers' run coalescing serves; the telemetry reports
+	// how much of the submitted traffic it captured.
+	width := widths[len(widths)-1]
+	devices := make([]*core.Device, width)
+	for i := range devices {
+		devices[i] = core.NewDevice(core.Config{
+			Codec:       codec,
+			DeviceBytes: totalDevice / int64(width),
+		})
+	}
+	p, err := pool.New(devices, pool.Config{})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	payload, err := serveChunkedPool(p, clients)
+	wall := time.Since(start)
+	st := p.Stats()
+	if cerr := p.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("exp: serve chunked: %w", err)
+	}
+	res.Chunked = &ServeChunked{
+		ChunkBytes:    serveChunkBytes,
+		Shards:        width,
+		WallSeconds:   wall.Seconds(),
+		WallGBs:       float64(payload) / wall.Seconds() / 1e9,
+		Submitted:     st.Async.Submitted,
+		CoalescedFrac: st.Async.CoalescedFrac(),
 	}
 	return res, nil
 }

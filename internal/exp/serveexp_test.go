@@ -31,6 +31,20 @@ func TestServeShardedThroughput(t *testing.T) {
 		t.Fatalf("4-shard aggregate throughput %.2fx the 1-shard baseline, want >= 2x",
 			res.Speedup)
 	}
+	c := res.Chunked
+	if c == nil {
+		t.Fatal("no chunked-stream leg in the result")
+	}
+	if c.ChunkBytes != serveChunkBytes || c.Shards != 4 {
+		t.Fatalf("chunked leg ran at %d B on %d shards, want %d B on 4", c.ChunkBytes, c.Shards, serveChunkBytes)
+	}
+	if c.WallGBs <= 0 || c.Submitted == 0 {
+		t.Fatalf("degenerate chunked leg %+v", c)
+	}
+	if c.CoalescedFrac <= 0 {
+		t.Fatalf("chunked leg coalesced %.0f%% of %d tasks; adjacent 4 KiB submits must coalesce",
+			100*c.CoalescedFrac, c.Submitted)
+	}
 }
 
 // TestServeWidthSelection covers the shards<=0 fallback the cmds rely on

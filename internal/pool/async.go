@@ -1,14 +1,27 @@
 package pool
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"buddy/internal/core"
+)
 
 // Async batched serving: many clients issue I/O against the pool without
 // serializing on any one device's shard locks. Each shard owns a bounded
 // submission queue drained by its own workers; Submit routes an operation
-// to the owning shard's queue and returns a Future immediately. Operations
-// run through the allocation's byte-addressed bulk path, so entry-aligned
-// spans batch through the device's parallel WriteEntries/ReadEntries
-// primitives underneath.
+// to the owning shard's queue and returns a Future immediately.
+//
+// The fast path is allocation-free and batch-shaped: tasks and futures are
+// recycled through sync.Pools, completion is a WaitGroup-style semaphore
+// (the Done channel materializes lazily, only for select-users), and each
+// worker drains its queue greedily, coalescing runs of adjacent tasks —
+// same allocation, same kind, contiguous entry-aligned offsets — into one
+// entry span dispatched through the device's batch WriteEntries/ReadEntries
+// primitives. A client streaming small chunks therefore still reaches the
+// batch data path: the queue, not the submission size, sets the dispatch
+// granularity.
 
 // opKind selects an async operation.
 type opKind uint8
@@ -19,27 +32,94 @@ const (
 )
 
 // Future is the pending result of a submitted operation.
+//
+// Lifecycle: a Future is checked out of an internal pool by SubmitWrite/
+// SubmitRead and recycled when Wait returns. Wait must therefore be called
+// exactly once, and no method may be called after it returns — a retained
+// pointer may already belong to a later submission. Code that selects on
+// Done must still call Wait afterwards to read the result and release the
+// future.
 type Future struct {
-	done chan struct{}
-	n    int
-	err  error
+	n   int
+	err error
+
+	wg sync.WaitGroup // 1 while pending; Done()ed by complete
+
+	mu        sync.Mutex // guards ch and completed
+	ch        chan struct{}
+	completed bool
+
+	// waited turns a second Wait into a panic instead of silent
+	// corruption of a recycled future (best effort: it cannot catch a
+	// second Wait that races a re-checkout).
+	waited atomic.Bool
 }
 
-func newFuture() *Future { return &Future{done: make(chan struct{})} }
+// depooled disables task/future recycling. Only the benchgate
+// demonstration test flips it, to prove the allocs/op gate catches a
+// de-pooled fast path. Atomic because workers read it while a test goroutine
+// restores it.
+var depooled atomic.Bool
 
-// Done returns a channel closed when the operation has completed.
-func (f *Future) Done() <-chan struct{} { return f.done }
+var futurePool = sync.Pool{New: func() any { return new(Future) }}
+
+func getFuture() *Future {
+	var f *Future
+	if depooled.Load() {
+		f = new(Future)
+	} else {
+		f = futurePool.Get().(*Future)
+	}
+	f.n, f.err = 0, nil
+	f.completed = false
+	f.ch = nil
+	f.waited.Store(false)
+	f.wg.Add(1)
+	return f
+}
+
+// Done returns a channel closed when the operation has completed, for
+// callers multiplexing with select. Wait must still be called to observe
+// the result; Done must not be called after Wait has returned.
+func (f *Future) Done() <-chan struct{} {
+	f.mu.Lock()
+	if f.ch == nil {
+		f.ch = make(chan struct{})
+		if f.completed {
+			close(f.ch)
+		}
+	}
+	ch := f.ch
+	f.mu.Unlock()
+	return ch
+}
 
 // Wait blocks until the operation completes and returns its byte count and
 // error — the same values the synchronous ReadAt/WriteAt would return.
+// Wait consumes the future: it must be called exactly once, and the future
+// must not be touched afterwards (it is recycled for later submissions).
 func (f *Future) Wait() (int, error) {
-	<-f.done
-	return f.n, f.err
+	f.wg.Wait()
+	if f.waited.Swap(true) {
+		panic("pool: Future.Wait called twice; the future was already consumed")
+	}
+	n, err := f.n, f.err
+	if !depooled.Load() {
+		futurePool.Put(f)
+	}
+	return n, err
 }
 
 func (f *Future) complete(n int, err error) {
 	f.n, f.err = n, err
-	close(f.done)
+	f.mu.Lock()
+	f.completed = true
+	ch := f.ch
+	f.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+	f.wg.Done()
 }
 
 // task is one queued operation.
@@ -51,47 +131,229 @@ type task struct {
 	fut  *Future
 }
 
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+func getTask() *task {
+	if depooled.Load() {
+		return new(task)
+	}
+	return taskPool.Get().(*task)
+}
+
+func putTask(t *task) {
+	if depooled.Load() {
+		return
+	}
+	t.h = nil
+	t.buf = nil
+	t.fut = nil
+	taskPool.Put(t)
+}
+
+// Coalescing limits: a run stops growing at maxRunTasks constituent tasks
+// or maxRunBytes of payload (the staging buffer's size; 1024 entries).
+const (
+	maxRunTasks = 32
+	maxRunBytes = 128 << 10
+)
+
+// coalesceBufPool recycles the staging buffer a coalesced run is executed
+// through.
+var coalesceBufPool = sync.Pool{New: func() any {
+	b := make([]byte, maxRunBytes)
+	return &b
+}}
+
+// spanEligible reports whether a task can participate in a coalesced entry
+// span: entry-aligned offset and length, and a span that stays within the
+// allocation's full entries (a partial tail entry needs WriteAt's
+// read-modify-write, which a batch span bypasses).
+//
+//buddy:hotpath
+func spanEligible(t *task) bool {
+	if t.off < 0 || len(t.buf) == 0 {
+		return false
+	}
+	if t.off%core.EntryBytes != 0 || len(t.buf)%core.EntryBytes != 0 {
+		return false
+	}
+	size := t.h.a.Size()
+	return t.off+int64(len(t.buf)) <= size-size%core.EntryBytes
+}
+
+// coalescible reports whether next extends the run ending in prev: same
+// operation, same allocation, span-eligible, and byte-contiguous.
+//
+//buddy:hotpath
+func coalescible(prev, next *task) bool {
+	if next.kind != prev.kind || next.h.a != prev.h.a {
+		return false
+	}
+	if next.off != prev.off+int64(len(prev.buf)) {
+		return false
+	}
+	return spanEligible(next)
+}
+
+// worker drains one shard's queue. Each blocking receive is followed by a
+// greedy non-blocking drain of whatever else is queued (up to maxRunTasks),
+// and the drained window is executed as maximal coalescible runs, in FIFO
+// order — per-queue ordering is preserved exactly; coalescing never
+// reorders.
+//
+//buddy:hotpath
 func (p *Pool) worker(q chan *task) {
 	defer p.wg.Done()
-	for t := range q {
-		switch t.kind {
-		case opWrite:
-			n, err := t.h.a.WriteAt(t.buf, t.off)
-			t.fut.complete(n, err)
-		case opRead:
-			n, err := t.h.a.ReadAt(t.buf, t.off)
-			t.fut.complete(n, err)
+	var run [maxRunTasks]*task
+	for {
+		t, ok := <-q
+		if !ok {
+			return
+		}
+		run[0] = t
+		n := 1
+	drain:
+		for n < maxRunTasks {
+			select {
+			case t2, ok2 := <-q:
+				if !ok2 {
+					break drain
+				}
+				run[n] = t2
+				n++
+			default:
+				break drain
+			}
+		}
+		for i := 0; i < n; {
+			j := i + 1
+			if spanEligible(run[i]) {
+				bytes := len(run[i].buf)
+				for j < n && bytes+len(run[j].buf) <= maxRunBytes && coalescible(run[j-1], run[j]) {
+					bytes += len(run[j].buf)
+					j++
+				}
+			}
+			p.execRun(run[i:j])
+			i = j
 		}
 	}
 }
 
-// submit enqueues a task on the handle's shard, blocking while that
-// shard's queue is full. A closed pool fails the future immediately.
-func (p *Pool) submit(t *task) *Future {
-	// The read lock is held across the send so Close cannot close the
-	// queue between the closed check and the enqueue; workers drain
-	// without taking the lock, so a blocked send always makes progress.
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
-		t.fut.complete(0, fmt.Errorf("pool: submit on shard %d: %w", t.h.shard, ErrClosed))
-		return t.fut
+// execRun executes one run of tasks. A single task goes straight through
+// the byte-addressed path; a coalesced run stages its payload in one pooled
+// buffer and moves it through the device's batch entry primitives, then
+// completes every constituent future with its own byte count. If the batch
+// fails, the run is replayed task by task so each future reports exactly
+// the n/err uncoalesced execution would have produced.
+//
+//buddy:hotpath
+func (p *Pool) execRun(ts []*task) {
+	if len(ts) == 1 {
+		p.execOne(ts[0])
+		return
 	}
-	p.queues[t.h.shard] <- t
-	return t.fut
+	p.async.coalescedRuns.Add(1)
+	p.async.coalescedTasks.Add(uint64(len(ts)))
+	a := ts[0].h.a
+	start := int(ts[0].off / core.EntryBytes)
+	total := 0
+	for _, t := range ts {
+		total += len(t.buf)
+	}
+	buf := coalesceBufPool.Get().(*[]byte)
+	span := (*buf)[:total]
+	var err error
+	if ts[0].kind == opWrite {
+		off := 0
+		for _, t := range ts {
+			off += copy(span[off:], t.buf)
+		}
+		err = a.WriteEntries(start, span)
+	} else {
+		err = a.ReadEntries(start, span)
+	}
+	if err != nil {
+		// Batch failed (e.g. the allocation was freed mid-run): replay
+		// individually for exact per-task results.
+		coalesceBufPool.Put(buf)
+		for _, t := range ts {
+			p.execOne(t)
+		}
+		return
+	}
+	off := 0
+	for _, t := range ts {
+		if t.kind == opRead {
+			copy(t.buf, span[off:off+len(t.buf)])
+		}
+		off += len(t.buf)
+		t.fut.complete(len(t.buf), nil)
+		putTask(t)
+	}
+	coalesceBufPool.Put(buf)
+}
+
+// execOne executes a single task through the allocation's byte-addressed
+// path and completes its future.
+//
+//buddy:hotpath
+func (p *Pool) execOne(t *task) {
+	var n int
+	var err error
+	if t.kind == opWrite {
+		n, err = t.h.a.WriteAt(t.buf, t.off)
+	} else {
+		n, err = t.h.a.ReadAt(t.buf, t.off)
+	}
+	t.fut.complete(n, err)
+	putTask(t)
+}
+
+// submit enqueues a task on the handle's shard, blocking while that
+// shard's queue is full. A closed pool fails the future immediately;
+// Close while a submit is blocked on a full queue fails it cleanly too.
+func (p *Pool) submit(t *task) *Future {
+	fut := t.fut
+	// subWG.Add happens before the closed check; Close stores the flag
+	// before waiting on subWG — either this submit observes closed, or
+	// Close waits for its enqueue to finish before closing the queues.
+	p.subWG.Add(1)
+	if p.closed.Load() {
+		p.subWG.Done()
+		fut.complete(0, fmt.Errorf("pool: submit on shard %d: %w", t.h.shard, ErrClosed))
+		putTask(t)
+		return fut
+	}
+	select {
+	case p.queues[t.h.shard] <- t:
+		p.async.submitted.Add(1)
+	case <-p.stop:
+		fut.complete(0, fmt.Errorf("pool: submit on shard %d: %w", t.h.shard, ErrClosed))
+		putTask(t)
+	}
+	p.subWG.Done()
+	return fut
 }
 
 // SubmitWrite asynchronously writes data at byte offset off of the
 // handle's allocation. The caller must not mutate data until the future
 // completes. Backpressure: SubmitWrite blocks while the owning shard's
-// queue is at its configured depth.
+// queue is at its configured depth. The steady-state submit→complete path
+// allocates nothing.
 func (p *Pool) SubmitWrite(h *Handle, data []byte, off int64) *Future {
-	return p.submit(&task{kind: opWrite, h: h, buf: data, off: off, fut: newFuture()})
+	t := getTask()
+	t.kind, t.h, t.buf, t.off = opWrite, h, data, off
+	t.fut = getFuture()
+	return p.submit(t)
 }
 
 // SubmitRead asynchronously reads into dst from byte offset off of the
 // handle's allocation. The caller must not touch dst until the future
 // completes.
 func (p *Pool) SubmitRead(h *Handle, dst []byte, off int64) *Future {
-	return p.submit(&task{kind: opRead, h: h, buf: dst, off: off, fut: newFuture()})
+	t := getTask()
+	t.kind, t.h, t.buf, t.off = opRead, h, dst, off
+	t.fut = getFuture()
+	return p.submit(t)
 }

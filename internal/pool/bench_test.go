@@ -8,19 +8,26 @@ import (
 	"buddy/internal/gen"
 )
 
-// BenchmarkPoolServe measures host-side serving throughput through the
-// async submission queues: 8 concurrent clients, each streaming a 256 KiB
-// working set (write + read-back) into a 4-shard pool. b.SetBytes reports
-// MB/s of payload moved; this is the codec-bound wall throughput of this
-// machine, the serving-layer counterpart of the bulk-I/O benchmarks in
-// internal/core.
-func BenchmarkPoolServe(b *testing.B) {
+// Serving-layer benchmarks. BenchmarkPoolServe measures host-side serving
+// throughput through the async submission queues in two traffic shapes —
+// bulk (64 KiB submissions, the shape the parallel batch path always
+// handled) and chunked (4 KiB submissions, the "many small bursty
+// transfers" shape of ML serving traffic, which only reaches the batch
+// primitives through worker-side coalescing). BenchmarkSubmitWrite pins
+// the submit→complete control-path cost per entry at zero allocations.
+// The per-shape ns/entry (and SubmitWrite's allocs/op) are what
+// BENCH_baseline.json pins via `make bench-gate`.
+
+// benchServe drives 8 concurrent clients, each streaming a 256 KiB
+// working set (write + read-back) into a 4-shard pool in chunkBytes
+// submissions.
+func benchServe(b *testing.B, chunkBytes int) {
 	const (
 		clients    = 8
-		chunk      = 64 << 10
-		perClient  = 4 // chunks per client per iteration
+		perClient  = 256 << 10
 		shardBytes = 4 << 20
 	)
+	chunks := perClient / chunkBytes
 	devices := make([]*core.Device, 4)
 	for i := range devices {
 		devices[i] = core.NewDevice(core.Config{DeviceBytes: shardBytes})
@@ -31,14 +38,14 @@ func BenchmarkPoolServe(b *testing.B) {
 	}
 	defer p.Close()
 
-	// Per-client working sets: fp64-like data that compresses to ~2x, the
-	// realistic middle of the codec's range.
+	// Per-client working sets: 90%-sparse fp16 activations, the cDMA-style
+	// ML serving traffic the paper (and the chunked shape) targets.
 	data := make([][]byte, clients)
 	handles := make([]*Handle, clients)
 	r := gen.NewRNG(7, 1)
 	for c := range data {
-		data[c] = make([]byte, perClient*chunk)
-		(gen.Noisy64{NoiseBits: 8, HiStep: 1}).Fill(data[c], r)
+		data[c] = make([]byte, perClient)
+		(gen.SparseFP16{ZeroFrac: 0.9}).Fill(data[c], r)
 		h, err := p.Malloc(fmt.Sprintf("c%d", c), int64(len(data[c])), core.Target2x)
 		if err != nil {
 			b.Fatal(err)
@@ -46,28 +53,37 @@ func BenchmarkPoolServe(b *testing.B) {
 		handles[c] = h
 	}
 	read := make([][]byte, clients)
+	futs := make([][]*Future, clients)
 	for c := range read {
 		read[c] = make([]byte, len(data[c]))
+		futs[c] = make([]*Future, 0, chunks)
 	}
-	b.SetBytes(int64(clients * perClient * chunk * 2)) // written + read back
+	b.SetBytes(int64(clients * perClient * 2)) // written + read back
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		done := make(chan error, clients)
 		for c := 0; c < clients; c++ {
 			go func(c int) {
-				var futs []*Future
-				for k := 0; k < perClient; k++ {
-					futs = append(futs, p.SubmitWrite(handles[c], data[c][k*chunk:(k+1)*chunk], int64(k*chunk)))
+				fs := futs[c][:0]
+				for k := 0; k < chunks; k++ {
+					fs = append(fs, p.SubmitWrite(handles[c], data[c][k*chunkBytes:(k+1)*chunkBytes], int64(k*chunkBytes)))
 				}
-				for _, f := range futs {
+				for _, f := range fs {
 					if _, err := f.Wait(); err != nil {
 						done <- err
 						return
 					}
 				}
-				if _, err := p.SubmitRead(handles[c], read[c], 0).Wait(); err != nil {
-					done <- err
-					return
+				fs = fs[:0]
+				for k := 0; k < chunks; k++ {
+					fs = append(fs, p.SubmitRead(handles[c], read[c][k*chunkBytes:(k+1)*chunkBytes], int64(k*chunkBytes)))
+				}
+				for _, f := range fs {
+					if _, err := f.Wait(); err != nil {
+						done <- err
+						return
+					}
 				}
 				done <- nil
 			}(c)
@@ -78,4 +94,47 @@ func BenchmarkPoolServe(b *testing.B) {
 			}
 		}
 	}
+	b.StopTimer()
+	entries := int64(clients * perClient * 2 / core.EntryBytes)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(entries), "ns/entry")
+}
+
+func BenchmarkPoolServe(b *testing.B) {
+	b.Run("bulk", func(b *testing.B) { benchServe(b, 64<<10) })
+	b.Run("chunked", func(b *testing.B) { benchServe(b, 4<<10) })
+}
+
+// BenchmarkSubmitWrite measures one client's submit→complete round trip
+// for a 4 KiB chunk: queue handoff, worker execution and future wake-up.
+// Steady state must not allocate — tasks and futures are pooled.
+func BenchmarkSubmitWrite(b *testing.B) {
+	devices := []*core.Device{core.NewDevice(core.Config{DeviceBytes: 4 << 20})}
+	p, err := New(devices, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	const chunk = 4 << 10
+	data := make([]byte, chunk)
+	(gen.SparseFP16{ZeroFrac: 0.9}).Fill(data, gen.NewRNG(7, 1))
+	h, err := p.Malloc("bench", 256<<10, core.Target2x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// First touch allocates each entry's retained stream buffer.
+	for off := int64(0); off < h.Size(); off += chunk {
+		if _, err := p.SubmitWrite(h, data, off).Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SubmitWrite(h, data, int64(i)%(h.Size()-chunk)).Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/(chunk/core.EntryBytes), "ns/entry")
 }

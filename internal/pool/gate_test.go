@@ -1,0 +1,71 @@
+package pool
+
+import (
+	"testing"
+
+	"buddy/internal/benchgate"
+	"buddy/internal/core"
+	"buddy/internal/race"
+)
+
+// TestGateCatchesDepooledFuture demonstrates the allocs/op bench-gate end to
+// end, mirroring benchgate's TestGateCatchesSlowedCodec: measure the real
+// submit→complete path, pin it at its true allocation count (zero), then
+// deliberately disable the task/future pools and require the comparator to
+// fail. This is the in-tree proof that `make bench-gate` rejects a de-pooled
+// fast path — the exact regression that would silently reintroduce per-op
+// garbage on the serving path.
+func TestGateCatchesDepooledFuture(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	if race.Enabled {
+		t.Skip("race instrumentation allocates")
+	}
+	p := newAsyncPool(t, 1, 1, 8)
+	h, err := p.Malloc("gate", 64*core.EntryBytes, core.Target2x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, core.EntryBytes)
+	pattern(buf, 5)
+	submit := func() {
+		if _, err := p.SubmitWrite(h, buf, 0).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		submit() // warm the pools and the retained stream buffers
+	}
+
+	healthy := testing.AllocsPerRun(100, submit)
+	base := benchgate.Baseline{
+		Tolerance:   1.3,
+		AllocsPerOp: map[string]float64{"SubmitWrite": healthy},
+	}
+	if healthy != 0 {
+		t.Fatalf("healthy submit path allocates %.1f/op, want 0", healthy)
+	}
+	if vs := benchgate.Compare(base, benchgate.Results{
+		AllocsPerOp: map[string]float64{"SubmitWrite": healthy},
+	}); len(vs) != 0 {
+		t.Fatalf("healthy path failed its own gate: %v", vs)
+	}
+
+	// De-pool the fast path: every submit now allocates a fresh task and
+	// future, the regression the 0 pin exists to catch.
+	depooled.Store(true)
+	defer depooled.Store(false)
+	depooledAllocs := testing.AllocsPerRun(100, submit)
+	if depooledAllocs == 0 {
+		t.Fatal("de-pooled path reports 0 allocs/op; the hook is broken")
+	}
+	vs := benchgate.Compare(base, benchgate.Results{
+		AllocsPerOp: map[string]float64{"SubmitWrite": depooledAllocs},
+	})
+	if len(vs) != 1 {
+		t.Fatalf("de-pooled path (%.1f allocs/op vs pinned %.1f) passed the gate",
+			depooledAllocs, healthy)
+	}
+	t.Logf("gate caught the de-pooled path: %s", vs[0])
+}

@@ -12,9 +12,17 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"buddy/internal/core"
 )
+
+// defaultQueueDepth is the default per-shard submission queue depth. It is
+// deliberately machine-independent: the queue backlog is the coalescing
+// window — a worker can only merge adjacent small submissions into one
+// batch span if the queue lets them accumulate — so tying the depth to
+// GOMAXPROCS would turn a small machine into an uncoalescible one.
+const defaultQueueDepth = 64
 
 // Config parameterizes a Pool.
 type Config struct {
@@ -23,12 +31,13 @@ type Config struct {
 	Placement Placement
 	// QueueDepth bounds each shard's async submission queue; Submit blocks
 	// when the owning shard's queue is full (backpressure instead of
-	// unbounded buffering). Default: GOMAXPROCS at pool construction.
+	// unbounded buffering). The backlog doubles as the worker's coalescing
+	// window. Default: defaultQueueDepth (64).
 	QueueDepth int
 	// Workers is the number of worker goroutines draining each shard's
 	// queue. Default: GOMAXPROCS spread across the shards, at least one
 	// per shard. Each worker's bulk operations additionally fan out
-	// across the device's own parallel batch path.
+	// across the device's own span-worker pool.
 	Workers int
 }
 
@@ -41,12 +50,26 @@ type Pool struct {
 	devices []*core.Device
 	place   Placement
 
-	allocMu sync.Mutex // serializes placement snapshot + reservation
+	allocMu     sync.Mutex  // serializes placement snapshot + reservation
+	loadScratch []ShardLoad // placement snapshot buffer; guarded by allocMu
 
-	mu     sync.RWMutex // guards closed and the queues' lifecycle
-	closed bool
+	// Close protocol: closed flips first, then stop wakes submitters
+	// blocked on full queues, then subWG drains in-flight submits, and
+	// only then do the queues close — no lock is ever held across a send.
+	closed atomic.Bool
+	stop   chan struct{}
+	subWG  sync.WaitGroup // in-flight submit calls
 	queues []chan *task
-	wg     sync.WaitGroup
+	wg     sync.WaitGroup // shard workers
+
+	async asyncCounters
+}
+
+// asyncCounters is the async serving path's telemetry.
+type asyncCounters struct {
+	submitted      atomic.Uint64
+	coalescedTasks atomic.Uint64
+	coalescedRuns  atomic.Uint64
 }
 
 // New builds a pool over the given devices. The devices must be freshly
@@ -65,16 +88,18 @@ func New(devices []*core.Device, cfg Config) (*Pool, error) {
 		cfg.Placement = LeastUsed()
 	}
 	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = runtime.GOMAXPROCS(0)
+		cfg.QueueDepth = defaultQueueDepth
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = (runtime.GOMAXPROCS(0) + len(devices) - 1) / len(devices)
 	}
 	p := &Pool{
-		devices: devices,
-		place:   cfg.Placement,
-		queues:  make([]chan *task, len(devices)),
+		devices:     devices,
+		place:       cfg.Placement,
+		loadScratch: make([]ShardLoad, len(devices)),
+		stop:        make(chan struct{}),
+		queues:      make([]chan *task, len(devices)),
 	}
 	for i := range p.queues {
 		q := make(chan *task, cfg.QueueDepth)
@@ -96,11 +121,13 @@ func (p *Pool) Device(i int) *core.Device { return p.devices[i] }
 // Placement returns the pool's placement policy.
 func (p *Pool) Placement() Placement { return p.place }
 
-// loads snapshots per-shard occupancy for a placement decision. Caller
-// must hold allocMu so the snapshot and the subsequent reservation are one
-// atomic placement step.
+// loads snapshots per-shard occupancy for a placement decision into the
+// pool's scratch slice — Malloc is on serving paths, so the snapshot must
+// not allocate per call. Caller must hold allocMu, which both makes the
+// snapshot and the subsequent reservation one atomic placement step and
+// guards the scratch (placement policies only read the slice during Pick).
 func (p *Pool) loads() []ShardLoad {
-	out := make([]ShardLoad, len(p.devices))
+	out := p.loadScratch
 	for i, d := range p.devices {
 		primary, _ := d.Tiers()
 		out[i] = ShardLoad{
@@ -120,10 +147,7 @@ func (p *Pool) loads() []ShardLoad {
 // handle routes all later I/O to the owning device. When every shard is
 // full the error wraps core.ErrOutOfMemory.
 func (p *Pool) Malloc(name string, size int64, target core.TargetRatio) (*Handle, error) {
-	p.mu.RLock()
-	closed := p.closed
-	p.mu.RUnlock()
-	if closed {
+	if p.closed.Load() {
 		return nil, fmt.Errorf("pool: Malloc %q: %w", name, ErrClosed)
 	}
 	p.allocMu.Lock()
@@ -164,20 +188,20 @@ func (p *Pool) Handles() []*Handle {
 }
 
 // Close shuts the async serving layer down: it waits for every queued
-// operation to drain, then stops the workers. Allocations and the devices
-// themselves stay usable through their handles; Close only retires the
-// submission queues. Closing twice is an error.
+// operation to drain, then stops the workers. Submits blocked on a full
+// queue at close time fail their futures with ErrClosed instead of
+// deadlocking; already-queued operations complete normally. Allocations
+// and the devices themselves stay usable through their handles; Close only
+// retires the submission queues. Closing twice is an error.
 func (p *Pool) Close() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if !p.closed.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
-	p.closed = true
+	close(p.stop)  // wake submitters blocked on full queues
+	p.subWG.Wait() // no submit is mid-enqueue past this point
 	for _, q := range p.queues {
 		close(q)
 	}
-	p.mu.Unlock()
 	p.wg.Wait()
 	return nil
 }

@@ -30,6 +30,27 @@ type ShardStats struct {
 	LinkReadBusyCycles, LinkWriteBusyCycles float64
 }
 
+// AsyncStats is the async serving path's telemetry: how much of the
+// submitted traffic the shard workers managed to batch.
+type AsyncStats struct {
+	// Submitted counts tasks accepted onto the submission queues.
+	Submitted uint64
+	// CoalescedTasks counts submitted tasks that executed inside a
+	// coalesced run (a batch of 2+ adjacent tasks dispatched as one entry
+	// span); CoalescedRuns counts the runs themselves.
+	CoalescedTasks uint64
+	CoalescedRuns  uint64
+}
+
+// CoalescedFrac returns the fraction of submitted tasks that executed
+// inside a coalesced run.
+func (a AsyncStats) CoalescedFrac() float64 {
+	if a.Submitted == 0 {
+		return 0
+	}
+	return float64(a.CoalescedTasks) / float64(a.Submitted)
+}
+
 // Stats is the pool-wide aggregate of the per-shard telemetry.
 type Stats struct {
 	// Shards holds one entry per shard, in shard order.
@@ -45,6 +66,8 @@ type Stats struct {
 	// rates (weighted by each shard's entry accesses, so idle shards do
 	// not dilute the fleet number).
 	MetadataCacheHitRate float64
+	// Async is the submission-queue coalescing telemetry.
+	Async AsyncStats
 }
 
 func addTraffic(a, b core.Traffic) core.Traffic {
@@ -93,6 +116,11 @@ func (p *Pool) Stats() Stats {
 	}
 	if weight > 0 {
 		st.MetadataCacheHitRate = weightedHits / weight
+	}
+	st.Async = AsyncStats{
+		Submitted:      p.async.submitted.Load(),
+		CoalescedTasks: p.async.coalescedTasks.Load(),
+		CoalescedRuns:  p.async.coalescedRuns.Load(),
 	}
 	return st
 }
