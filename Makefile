@@ -42,8 +42,10 @@ test:
 	$(GO) test ./...
 
 # Smoke-run every example binary at reduced scale (the sources are already
-# sized for seconds; serve additionally takes explicit small flags). CI
-# runs this so the examples stay executable, not merely compilable.
+# sized for seconds; serve additionally takes explicit small flags), plus
+# the heal experiment at smoke fidelity — the failure-recovery path stays
+# exercised end to end, not merely unit-tested. CI runs this so the
+# examples stay executable, not merely compilable.
 examples:
 	@set -e; for d in examples/*/ ; do \
 	  name=$$(basename $$d); \
@@ -52,6 +54,8 @@ examples:
 	  echo "examples: run $$name $$args"; \
 	  $(GO) run ./examples/$$name $$args >/dev/null; \
 	done
+	@echo "examples: run buddysim -exp heal -quick"
+	@$(GO) run ./cmd/buddysim -exp heal -quick >/dev/null
 	@echo 'examples: ok'
 
 race:
@@ -100,7 +104,7 @@ bench-json:
 # overrides the tolerance for one run (CI uses a wider one to absorb shared
 # runner heterogeneity; a lost kernel fast path is a 2-15x cliff either way).
 BENCH_GATE_PKGS = ./internal/compress/ ./internal/core/ ./internal/pool/
-BENCH_GATE_RX = 'BenchmarkAppendCompressed|BenchmarkDecompressInto|BenchmarkVariedStream|BenchmarkWriteEntry|BenchmarkReadEntry|BenchmarkPoolServe|BenchmarkSubmitWrite'
+BENCH_GATE_RX = 'BenchmarkAppendCompressed|BenchmarkDecompressInto|BenchmarkVariedStream|BenchmarkWriteEntry|BenchmarkReadEntry|BenchmarkPoolServe|BenchmarkSubmitWrite|BenchmarkRebalanceScan'
 BENCH_TOL ?=
 bench-gate:
 	$(GO) test -run '^$$' -bench $(BENCH_GATE_RX) -benchtime 100ms -count 4 $(BENCH_GATE_PKGS) \

@@ -136,6 +136,32 @@ func MemcpyHandles(dst, src *Handle, n int64) (int64, error) {
 	return pool.Memcpy(dst, src, n)
 }
 
+// FailureInjector kills shards of the Pool it is attached to (see
+// WithFailureInjector) — the fault hook behind failure-recovery testing
+// and the heal experiment.
+type FailureInjector = pool.FailureInjector
+
+// NewFailureInjector returns an unattached injector; pass it to NewPool
+// via WithFailureInjector, then Kill shards mid-serve.
+func NewFailureInjector() *FailureInjector { return pool.NewFailureInjector() }
+
+// RecoveryStats reports one shard recovery: entries rebuilt, compressed
+// bytes streamed back over the buddy link, and wall-clock elapsed.
+type RecoveryStats = pool.RecoveryStats
+
+// ErrShardDraining is returned (wrapped) when an operation targets a Pool
+// shard that is draining.
+var ErrShardDraining = pool.ErrShardDraining
+
+// ErrShardFailed is returned (wrapped) when an operation targets a Pool
+// shard whose device tier has been killed and not yet recovered.
+var ErrShardFailed = pool.ErrShardFailed
+
+// ErrDeviceFailed is returned (wrapped) by data-path operations on a
+// device whose tier has been killed by a FailureInjector and not yet
+// rebuilt.
+var ErrDeviceFailed = core.ErrDeviceFailed
+
 // ErrFreed is returned (wrapped) by every I/O operation on an allocation
 // released with Device.Free or Allocation.Close.
 var ErrFreed = core.ErrFreed

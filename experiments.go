@@ -55,6 +55,7 @@ func init() {
 		{Name: "fig13d", Description: "training accuracy across batch sizes", Run: func(w io.Writer, _ ExperimentScale) error { return runFig13d(w) }},
 		{Name: "reprofile", Description: "live target-ratio migration on a drifting workload (§3.4 extension)", Run: runReprofile},
 		{Name: "serve", Description: "sharded multi-device serving: aggregate throughput, 1 vs N shards", Run: runServe},
+		{Name: "heal", Description: "self-healing fleet: kill a shard mid-serve, rebuild from buddy memory, measure the dip", Run: runHeal},
 	} {
 		RegisterExperiment(e)
 	}
@@ -328,6 +329,28 @@ func runServe(w io.Writer, sc ExperimentScale) error {
 			"chunked clients (%d B submits, %d shards): %.2f GB/s wall, %.0f%% of %d tasks coalesced\n",
 			c.ChunkBytes, c.Shards, c.WallGBs, 100*c.CoalescedFrac, c.Submitted)
 	}
+	return err
+}
+
+func runHeal(w io.Writer, sc ExperimentScale) error {
+	res, err := exp.Heal(sc.Workload, sc.Shards)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{
+		{"A: baseline", fmt.Sprintf("%.2f", res.BaselineGBs), "-"},
+		{fmt.Sprintf("B: shard %d killed", res.KilledShard), fmt.Sprintf("%.2f", res.FailureGBs),
+			fmt.Sprintf("%d retried ops", res.Retried)},
+		{"C: recovered", fmt.Sprintf("%.2f", res.RecoveredGBs),
+			fmt.Sprintf("%.0f%% of baseline", res.RecoveryRatio*100)},
+	}
+	fmt.Fprint(w, exp.FormatTable([]string{"Round", "Modeled GB/s", "Notes"}, rows))
+	fmt.Fprintf(w,
+		"%d clients on %d shards; rebuild: %d entries, %d KiB over the buddy link in %s; lost bytes: %d\n",
+		res.Clients, res.Shards, res.RebuiltEntries, res.RebuiltBytes>>10, res.RecoveryWall, res.LostBytes)
+	_, err = fmt.Fprintf(w,
+		"quiesced migration: %d decodes, %d encodes (codec-matched => 0/0); migration bytes src=%d dst=%d\n",
+		res.MigrateDecodes, res.MigrateEncodes, res.MigrationBytesSrc, res.MigrationBytesDst)
 	return err
 }
 

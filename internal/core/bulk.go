@@ -268,6 +268,10 @@ func (a *Allocation) writeEntrySpan(start, lo, hi int, data []byte, scratch, scr
 			d.mu.RUnlock()
 			return a.errFreed()
 		}
+		if d.failed.Load() {
+			d.mu.RUnlock()
+			return d.errFailed()
+		}
 		var devBytes uint64
 		for i := b; i < e; {
 			n := 1
@@ -343,6 +347,10 @@ func (a *Allocation) readEntrySpan(start, lo, hi int, dst []byte, scratch, scrat
 		if a.freed {
 			d.mu.RUnlock()
 			return a.errFreed()
+		}
+		if d.failed.Load() {
+			d.mu.RUnlock()
+			return d.errFailed()
 		}
 		var devBytes uint64
 		for i := b; i < e; {

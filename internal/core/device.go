@@ -14,6 +14,11 @@ import (
 // EntryBytes is the compression granularity: one 128 B memory-entry.
 const EntryBytes = compress.EntryBytes
 
+// MaxStreamBytes is the largest framed compressed stream one entry can
+// produce — the scratch capacity entry-stream consumers (ExportEntry
+// callers) size their buffers to.
+const MaxStreamBytes = compress.MaxStreamBytes
+
 // Config parameterizes a Buddy Compression device.
 type Config struct {
 	// Codec is the memory compression algorithm (default BPC, §2.4). It
@@ -174,6 +179,7 @@ type Device struct {
 	gbbr        uint64 // global buddy base address (modeled)
 	traffic     trafficCounters
 	metaEnabled atomic.Bool
+	failed      atomic.Bool // device tier killed by Fail, not yet Recovered
 }
 
 // ErrOutOfMemory is returned when an allocation does not fit a tier's
@@ -291,6 +297,17 @@ func (a *Allocation) Freed() bool {
 // tiers for per-tier inspection.
 func (d *Device) Tiers() (primary, overflow Backend) { return d.primary, d.overflow }
 
+// Codec returns the device's memory compression codec.
+func (d *Device) Codec() compress.Codec { return d.cfg.Codec }
+
+// SameCodecAs reports whether two devices store interchangeable framed
+// streams. Codecs are registry identities, so name equality is the framing
+// contract; interface equality is deliberately not used (codec values need
+// not be comparable).
+func (d *Device) SameCodecAs(o *Device) bool {
+	return d.cfg.Codec.Name() == o.cfg.Codec.Name()
+}
+
 // Carveout returns the overflow tier's capacity in bytes; negative means
 // unbounded (e.g. the host unified-memory fallback).
 func (d *Device) Carveout() int64 {
@@ -343,6 +360,9 @@ func (d *Device) CompressionRatio() float64 {
 func (d *Device) Malloc(name string, size int64, target TargetRatio) (*Allocation, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("core: invalid allocation size %d", size)
+	}
+	if d.failed.Load() {
+		return nil, d.errFailed()
 	}
 	entries := int((size + EntryBytes - 1) / EntryBytes)
 	devBytes := int64(entries) * int64(target.DeviceBytes())
@@ -492,6 +512,10 @@ func (a *Allocation) writeEntry(i int, data []byte, scratch *[]byte) error {
 		d.mu.RUnlock()
 		return a.errFreed()
 	}
+	if d.failed.Load() {
+		d.mu.RUnlock()
+		return d.errFailed()
+	}
 	sh := a.shard(i)
 	sh.Lock()
 	// The entry's home (old or new layout, during a live migration) is
@@ -549,6 +573,10 @@ func (a *Allocation) readEntry(i int, dst []byte, scratch *[]byte) error {
 	if a.freed {
 		d.mu.RUnlock()
 		return a.errFreed()
+	}
+	if d.failed.Load() {
+		d.mu.RUnlock()
+		return d.errFailed()
 	}
 	sh := a.shard(i)
 	sh.Lock()

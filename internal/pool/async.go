@@ -177,16 +177,19 @@ func spanEligible(t *task) bool {
 	if t.off%core.EntryBytes != 0 || len(t.buf)%core.EntryBytes != 0 {
 		return false
 	}
-	size := t.h.a.Size()
+	size := t.h.size // immutable, so eligibility needs no route lock
 	return t.off+int64(len(t.buf)) <= size-size%core.EntryBytes
 }
 
 // coalescible reports whether next extends the run ending in prev: same
-// operation, same allocation, span-eligible, and byte-contiguous.
+// operation, same handle, span-eligible, and byte-contiguous. Handles are
+// canonical (the pool returns one *Handle per allocation), so pointer
+// equality is allocation equality — and unlike comparing the routed
+// allocations, it stays stable mid-migration.
 //
 //buddy:hotpath
 func coalescible(prev, next *task) bool {
-	if next.kind != prev.kind || next.h.a != prev.h.a {
+	if next.kind != prev.kind || next.h != prev.h {
 		return false
 	}
 	if next.off != prev.off+int64(len(prev.buf)) {
@@ -255,7 +258,7 @@ func (p *Pool) execRun(ts []*task) {
 	}
 	p.async.coalescedRuns.Add(1)
 	p.async.coalescedTasks.Add(uint64(len(ts)))
-	a := ts[0].h.a
+	h := ts[0].h
 	start := int(ts[0].off / core.EntryBytes)
 	total := 0
 	for _, t := range ts {
@@ -264,14 +267,21 @@ func (p *Pool) execRun(ts []*task) {
 	buf := coalesceBufPool.Get().(*[]byte)
 	span := (*buf)[:total]
 	var err error
+	// The route lock is read-held across the whole span, so a concurrent
+	// migration's watermark is frozen and the split executed here is
+	// consistent for every entry of the run.
 	if ts[0].kind == opWrite {
 		off := 0
 		for _, t := range ts {
 			off += copy(span[off:], t.buf)
 		}
-		err = a.WriteEntries(start, span)
+		h.mu.RLock()
+		err = h.writeEntriesLocked(start, span)
+		h.mu.RUnlock()
 	} else {
-		err = a.ReadEntries(start, span)
+		h.mu.RLock()
+		err = h.readEntriesLocked(start, span)
+		h.mu.RUnlock()
 	}
 	if err != nil {
 		// Batch failed (e.g. the allocation was freed mid-run): replay
@@ -302,9 +312,9 @@ func (p *Pool) execOne(t *task) {
 	var n int
 	var err error
 	if t.kind == opWrite {
-		n, err = t.h.a.WriteAt(t.buf, t.off)
+		n, err = t.h.WriteAt(t.buf, t.off)
 	} else {
-		n, err = t.h.a.ReadAt(t.buf, t.off)
+		n, err = t.h.ReadAt(t.buf, t.off)
 	}
 	t.fut.complete(n, err)
 	putTask(t)
@@ -315,21 +325,26 @@ func (p *Pool) execOne(t *task) {
 // Close while a submit is blocked on a full queue fails it cleanly too.
 func (p *Pool) submit(t *task) *Future {
 	fut := t.fut
+	// The owning shard is re-resolved per submission through the handle's
+	// route — a migrated handle enqueues on its new shard. A task that was
+	// queued just before a cutover still executes correctly: execution
+	// routes through the handle again, not through the queue it sat on.
+	shard := t.h.Shard()
 	// subWG.Add happens before the closed check; Close stores the flag
 	// before waiting on subWG — either this submit observes closed, or
 	// Close waits for its enqueue to finish before closing the queues.
 	p.subWG.Add(1)
 	if p.closed.Load() {
 		p.subWG.Done()
-		fut.complete(0, fmt.Errorf("pool: submit on shard %d: %w", t.h.shard, ErrClosed))
+		fut.complete(0, fmt.Errorf("pool: submit on shard %d: %w", shard, ErrClosed))
 		putTask(t)
 		return fut
 	}
 	select {
-	case p.queues[t.h.shard] <- t:
+	case p.queues[shard] <- t:
 		p.async.submitted.Add(1)
 	case <-p.stop:
-		fut.complete(0, fmt.Errorf("pool: submit on shard %d: %w", t.h.shard, ErrClosed))
+		fut.complete(0, fmt.Errorf("pool: submit on shard %d: %w", shard, ErrClosed))
 		putTask(t)
 	}
 	p.subWG.Done()

@@ -3,6 +3,7 @@ package pool
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"buddy/internal/core"
 	"buddy/internal/gen"
@@ -20,8 +21,10 @@ import (
 
 // benchServe drives 8 concurrent clients, each streaming a 256 KiB
 // working set (write + read-back) into a 4-shard pool in chunkBytes
-// submissions.
-func benchServe(b *testing.B, chunkBytes int) {
+// submissions. rebalEvery > 0 additionally runs the rebalancer watcher on
+// that interval throughout — the "watched" leg pins that an aggressively
+// ticking watcher costs the serve path nothing measurable.
+func benchServe(b *testing.B, chunkBytes int, rebalEvery time.Duration) {
 	const (
 		clients    = 8
 		perClient  = 256 << 10
@@ -32,7 +35,7 @@ func benchServe(b *testing.B, chunkBytes int) {
 	for i := range devices {
 		devices[i] = core.NewDevice(core.Config{DeviceBytes: shardBytes})
 	}
-	p, err := New(devices, Config{})
+	p, err := New(devices, Config{RebalanceInterval: rebalEvery})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -100,8 +103,44 @@ func benchServe(b *testing.B, chunkBytes int) {
 }
 
 func BenchmarkPoolServe(b *testing.B) {
-	b.Run("bulk", func(b *testing.B) { benchServe(b, 64<<10) })
-	b.Run("chunked", func(b *testing.B) { benchServe(b, 4<<10) })
+	b.Run("bulk", func(b *testing.B) { benchServe(b, 64<<10, 0) })
+	b.Run("chunked", func(b *testing.B) { benchServe(b, 4<<10, 0) })
+	// Same bulk traffic with the rebalancer watcher ticking every 100 µs —
+	// far hotter than any deployment would run it. The baseline pins this
+	// leg at the bulk leg's ns/entry, so a watcher that starts costing the
+	// serve path real time fails the gate.
+	b.Run("watched", func(b *testing.B) { benchServe(b, 64<<10, 100*time.Microsecond) })
+}
+
+// BenchmarkRebalanceScan pins the watcher's per-tick cost: one pressure
+// scan over a 4-shard fleet with live load. The gate pins allocs/op at
+// zero — the scan runs forever inside serving processes and must stay
+// allocation-free.
+func BenchmarkRebalanceScan(b *testing.B) {
+	devices := make([]*core.Device, 4)
+	for i := range devices {
+		devices[i] = core.NewDevice(core.Config{DeviceBytes: 4 << 20})
+	}
+	// A long interval arms the rebalancer without ticking mid-measurement.
+	p, err := New(devices, Config{RebalanceInterval: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	data := make([]byte, 256<<10)
+	(gen.SparseFP16{ZeroFrac: 0.9}).Fill(data, gen.NewRNG(7, 1))
+	h, err := p.Malloc("load", int64(len(data)), core.Target2x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.WriteAt(data, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.rebalanceScan()
+	}
 }
 
 // BenchmarkSubmitWrite measures one client's submit→complete round trip

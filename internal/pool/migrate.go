@@ -1,0 +1,176 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+
+	"buddy/internal/core"
+)
+
+// Cross-shard live migration: MigrateHandle moves a whole allocation's
+// framed compressed entries from one shard's device to another while the
+// pool keeps serving it. Because entries live as framed streams, a
+// codec-matched move is a pure stream handoff over the modeled interconnect
+// — ExportEntry/ImportEntry, zero decode round-trips — and both devices
+// account the move in Traffic.MigrationBytes (equal on source and
+// destination for a clean move). Devices with different codecs fall back to
+// a decode/re-encode copy per entry.
+//
+// Concurrency: the destination layout is reserved up front (clean
+// ErrOutOfMemory rollback before anything moves), then a migration epoch is
+// installed in the handle's route. The mover advances an entry watermark
+// only while holding the handle's route lock exclusively; every concurrent
+// ReadAt/WriteAt/Submit holds it shared and splits at the watermark, so
+// each entry is served by exactly one device at any instant and no update
+// is ever lost. An error mid-move (destination killed, say) migrates the
+// moved prefix back and leaves the handle where it started.
+
+// migrateChunkEntries is the mover's lock window: entries transferred per
+// exclusive acquisition of the handle's route lock. Small enough that
+// concurrent I/O only ever waits for a bounded chunk, large enough to
+// amortize the lock churn.
+const migrateChunkEntries = 64
+
+// MigrateHandle live-migrates h's allocation to dstShard. It blocks until
+// the move commits (or rolls back) and is safe to call while other
+// goroutines read and write the handle; migrating to the handle's current
+// shard is a no-op. Draining and failed destinations are refused; a full
+// destination fails with core.ErrOutOfMemory before anything moves.
+// Migrating *off* a failed shard works — the framed streams survive in the
+// carve-out mirror — which is what drain-style evacuation of a dead tier
+// relies on.
+func (h *Handle) migrateTo(dstShard int) error {
+	p := h.pool
+	h.ctl.Lock()
+	defer h.ctl.Unlock()
+
+	h.mu.RLock()
+	src := h.rt.a
+	srcShard := h.rt.shard
+	h.mu.RUnlock()
+	if srcShard == dstShard {
+		return nil
+	}
+	switch p.state[dstShard].Load() {
+	case shardDraining:
+		return fmt.Errorf("pool: migrate %q to shard %d: %w", h.name, dstShard, ErrShardDraining)
+	case shardFailed:
+		return fmt.Errorf("pool: migrate %q to shard %d: %w", h.name, dstShard, ErrShardFailed)
+	}
+
+	srcDev, dstDev := p.devices[srcShard], p.devices[dstShard]
+	// Reserve the destination layout up front: an out-of-memory destination
+	// fails here, before any entry moves, so rollback is a plain Free.
+	dst, err := dstDev.Malloc(h.name, h.size, src.Target())
+	if err != nil {
+		return fmt.Errorf("pool: migrate %q shard %d->%d: reserve destination: %w",
+			h.name, srcShard, dstShard, err)
+	}
+
+	// Install the migration epoch; from here every I/O splits at the
+	// watermark.
+	h.mu.Lock()
+	h.rt.mig = &handleMigration{dstShard: dstShard, dst: dst}
+	h.mu.Unlock()
+
+	sameCodec := srcDev.SameCodecAs(dstDev)
+	if err := h.migrateEntries(src, dst, sameCodec); err != nil {
+		rbErr := h.rollbackMigration(src, dst, sameCodec)
+		if closeErr := dst.Close(); closeErr != nil && rbErr == nil {
+			rbErr = closeErr
+		}
+		return errors.Join(err, rbErr)
+	}
+
+	// Cutover: the handle now routes everything to the destination, and the
+	// source layout is released. Concurrent I/O between the last chunk and
+	// this commit already went to the destination — the watermark covered
+	// every entry.
+	h.mu.Lock()
+	h.rt = handleRoute{shard: dstShard, a: dst}
+	h.mu.Unlock()
+	return src.Close()
+}
+
+// MigrateHandle live-migrates h's allocation to dstShard; see Handle's
+// migrateTo for the full contract. Handles from another pool are refused.
+func (p *Pool) MigrateHandle(h *Handle, dstShard int) error {
+	if h == nil || h.pool != p {
+		return errors.New("pool: MigrateHandle on a handle from another pool")
+	}
+	if dstShard < 0 || dstShard >= len(p.devices) {
+		return fmt.Errorf("pool: MigrateHandle to shard %d of %d", dstShard, len(p.devices))
+	}
+	return h.migrateTo(dstShard)
+}
+
+// moveEntry transfers entry i between allocations: a framed-stream handoff
+// when the codecs match (no decode), decode/re-encode when they differ.
+// streamBuf must have MaxStreamBytes capacity; entryBuf is one entry.
+func moveEntry(from, to *core.Allocation, i int, sameCodec bool, streamBuf, entryBuf []byte) error {
+	if sameCodec {
+		stream, sectors, written, err := from.ExportEntry(i, streamBuf[:0])
+		if err != nil {
+			return err
+		}
+		if !written {
+			return nil // never-written entries read as zero on both sides
+		}
+		return to.ImportEntry(i, stream, sectors)
+	}
+	if err := from.ReadEntry(i, entryBuf); err != nil {
+		return err
+	}
+	return to.WriteEntry(i, entryBuf)
+}
+
+// migrateEntries runs the mover: chunks of migrateChunkEntries moved under
+// the route lock held exclusively, watermark advanced per entry.
+func (h *Handle) migrateEntries(src, dst *core.Allocation, sameCodec bool) error {
+	n := src.EntryCount
+	streamBuf := make([]byte, 0, core.MaxStreamBytes)
+	entryBuf := make([]byte, core.EntryBytes)
+	for base := 0; base < n; base += migrateChunkEntries {
+		end := min(base+migrateChunkEntries, n)
+		h.mu.Lock()
+		m := h.rt.mig
+		for i := base; i < end; i++ {
+			if err := moveEntry(src, dst, i, sameCodec, streamBuf, entryBuf); err != nil {
+				h.mu.Unlock()
+				return fmt.Errorf("pool: migrate %q entry %d: %w", h.name, i, err)
+			}
+			m.moved = i + 1
+		}
+		h.mu.Unlock()
+	}
+	return nil
+}
+
+// rollbackMigration undoes a partial move: entries [0, moved) are copied
+// back from the destination — which holds their freshest contents, since
+// post-watermark writes landed there — and the epoch is cleared, restoring
+// the pre-migration route. Best effort: an entry that cannot be copied back
+// (e.g. a mismatched-codec rollback off a killed destination) is reported
+// and the source keeps its pre-move copy of that entry.
+func (h *Handle) rollbackMigration(src, dst *core.Allocation, sameCodec bool) error {
+	streamBuf := make([]byte, 0, core.MaxStreamBytes)
+	entryBuf := make([]byte, core.EntryBytes)
+	var errs []error
+	for {
+		h.mu.Lock()
+		m := h.rt.mig
+		if m.moved == 0 {
+			h.rt.mig = nil
+			h.mu.Unlock()
+			return errors.Join(errs...)
+		}
+		base := max(0, m.moved-migrateChunkEntries)
+		for i := m.moved - 1; i >= base; i-- {
+			if err := moveEntry(dst, src, i, sameCodec, streamBuf, entryBuf); err != nil && len(errs) < 8 {
+				errs = append(errs, fmt.Errorf("pool: rollback %q entry %d: %w", h.name, i, err))
+			}
+			m.moved = i
+		}
+		h.mu.Unlock()
+	}
+}

@@ -1,0 +1,346 @@
+package pool
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"buddy/internal/compress"
+	"buddy/internal/core"
+)
+
+// countingCodec wraps a Codec with encode/decode call counters — the
+// instrument behind the zero-decode migration assertion. It reports the
+// inner codec's Name, so two devices wrapping the same algorithm are
+// codec-matched in the SameCodecAs sense.
+type countingCodec struct {
+	inner   compress.Codec
+	encodes atomic.Int64
+	decodes atomic.Int64
+}
+
+func (c *countingCodec) Name() string { return c.inner.Name() }
+
+func (c *countingCodec) AppendCompressed(dst, entry []byte) ([]byte, int) {
+	c.encodes.Add(1)
+	return c.inner.AppendCompressed(dst, entry)
+}
+
+func (c *countingCodec) DecompressInto(dst, comp []byte) error {
+	c.decodes.Add(1)
+	return c.inner.DecompressInto(dst, comp)
+}
+
+// newCodecPool builds a pool whose shards run the given codecs (one device
+// per codec, 64 KiB slab each).
+func newCodecPool(t *testing.T, codecs ...compress.Codec) *Pool {
+	t.Helper()
+	devices := make([]*core.Device, len(codecs))
+	for i, c := range codecs {
+		devices[i] = core.NewDevice(core.Config{DeviceBytes: 64 << 10, Codec: c})
+	}
+	p, err := New(devices, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+// TestMigrateHandleMovesData pins the basic contract: after MigrateHandle
+// the handle routes to the new shard, the data is intact, the source
+// allocation is released, and both devices account identical
+// MigrationBytes.
+func TestMigrateHandleMovesData(t *testing.T) {
+	p := newTestPool(t, 3, Explicit(0))
+	want := make([]byte, 8<<10)
+	pattern(want, 5)
+	h, err := p.Malloc("m", int64(len(want)), core.Target2x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.devices {
+		d.ResetTraffic()
+	}
+	if err := p.MigrateHandle(h, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Shard(); got != 2 {
+		t.Fatalf("handle routes to shard %d after migration, want 2", got)
+	}
+	if h.Migrating() {
+		t.Fatal("handle still reports migrating after cutover")
+	}
+	got := make([]byte, len(want))
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data corrupted across migration")
+	}
+	if used := p.devices[0].DeviceUsed(); used != 0 {
+		t.Errorf("source shard still holds %d device bytes", used)
+	}
+	st := p.devices[0].Traffic()
+	dt := p.devices[2].Traffic()
+	if st.MigrationBytes == 0 || st.MigrationBytes != dt.MigrationBytes {
+		t.Errorf("MigrationBytes src=%d dst=%d, want equal and nonzero",
+			st.MigrationBytes, dt.MigrationBytes)
+	}
+	// Migrating to the shard the handle is already on is a no-op.
+	if err := p.MigrateHandle(h, 2); err != nil {
+		t.Fatalf("same-shard migration: %v", err)
+	}
+	// New I/O after the move still works through the same handle — the
+	// stale-route regression (handles must re-resolve their shard, not
+	// cache it at Malloc time).
+	pattern(want, 6)
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-migration write through handle corrupted")
+	}
+}
+
+// TestMigrateZeroDecode asserts the tentpole's no-decode guarantee: when
+// source and destination run the same codec, MigrateHandle streams framed
+// entries shard-to-shard without a single decode (or re-encode) round-trip.
+func TestMigrateZeroDecode(t *testing.T) {
+	cc := &countingCodec{inner: compress.NewBPC()}
+	p := newCodecPool(t, cc, cc)
+	// Nonzero data: all-zero entries shortcut the codec entirely and would
+	// vacuously pass.
+	want := make([]byte, 16<<10)
+	pattern(want, 11)
+	h, err := p.Malloc("z", int64(len(want)), core.Target2x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	enc, dec := cc.encodes.Load(), cc.decodes.Load()
+	if enc == 0 {
+		t.Fatal("writes did not reach the codec; the counter proves nothing")
+	}
+	if err := p.MigrateHandle(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := cc.decodes.Load() - dec; d != 0 {
+		t.Errorf("codec-matched migration decoded %d entries, want 0", d)
+	}
+	if d := cc.encodes.Load() - enc; d != 0 {
+		t.Errorf("codec-matched migration re-encoded %d entries, want 0", d)
+	}
+	got := make([]byte, len(want))
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data corrupted across stream migration")
+	}
+}
+
+// TestMigrateCodecMismatch pins the fallback: when the shards disagree on
+// codec, migration decodes on the source and re-encodes on the destination,
+// and the data still survives.
+func TestMigrateCodecMismatch(t *testing.T) {
+	bdi, err := compress.ByName("bdi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &countingCodec{inner: compress.NewBPC()}
+	dst := &countingCodec{inner: bdi}
+	p := newCodecPool(t, src, dst)
+	want := make([]byte, 4<<10)
+	pattern(want, 13)
+	h, err := p.Malloc("x", int64(len(want)), core.Target2x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	dec, enc := src.decodes.Load(), dst.encodes.Load()
+	if err := p.MigrateHandle(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if src.decodes.Load() == dec {
+		t.Error("mismatched-codec migration never decoded on the source")
+	}
+	if dst.encodes.Load() == enc {
+		t.Error("mismatched-codec migration never encoded on the destination")
+	}
+	got := make([]byte, len(want))
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data corrupted across transcode migration")
+	}
+}
+
+// TestMigrateOOMRollback pins the reservation contract: when the
+// destination cannot hold the allocation, MigrateHandle fails with
+// ErrOutOfMemory, the handle stays routed to its source, the data is
+// untouched and the destination keeps nothing.
+func TestMigrateOOMRollback(t *testing.T) {
+	devices := []*core.Device{
+		core.NewDevice(core.Config{DeviceBytes: 64 << 10}),
+		core.NewDevice(core.Config{DeviceBytes: 4 << 10}),
+	}
+	p, err := New(devices, Config{Placement: Explicit(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	want := make([]byte, 32<<10)
+	pattern(want, 17)
+	h, err := p.Malloc("big", int64(len(want)), core.Target1x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	err = p.MigrateHandle(h, 1)
+	if !errors.Is(err, core.ErrOutOfMemory) {
+		t.Fatalf("migration into a full shard: %v, want ErrOutOfMemory", err)
+	}
+	if got := h.Shard(); got != 0 {
+		t.Fatalf("failed migration moved the route to shard %d", got)
+	}
+	if h.Migrating() {
+		t.Fatal("failed migration left the handle mid-move")
+	}
+	if used := devices[1].DeviceUsed(); used != 0 {
+		t.Errorf("failed migration leaked %d device bytes on the destination", used)
+	}
+	got := make([]byte, len(want))
+	if _, err := h.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("failed migration corrupted the source data")
+	}
+}
+
+// TestMigrateRejects covers the argument guards: foreign handles, bad
+// shard indexes, draining and failed destinations.
+func TestMigrateRejects(t *testing.T) {
+	p := newTestPool(t, 2, Explicit(0))
+	other := newTestPool(t, 1, nil)
+	h, err := p.Malloc("a", 1<<10, core.Target1x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := other.Malloc("b", 1<<10, core.Target1x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MigrateHandle(foreign, 0); err == nil ||
+		!strings.Contains(err.Error(), "another pool") {
+		t.Errorf("foreign handle: %v", err)
+	}
+	if err := p.MigrateHandle(h, 7); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if err := p.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MigrateHandle(h, 1); !errors.Is(err, ErrShardDraining) {
+		t.Errorf("draining destination: %v, want ErrShardDraining", err)
+	}
+	if err := p.Reopen(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrateUnderConcurrentIO is the stale-shard-routing regression under
+// load: goroutines hammer disjoint regions of one handle — sync byte I/O at
+// unaligned offsets plus async submissions — while the allocation live-
+// migrates back and forth between shards. Every read must observe that
+// region's latest write; run with -race this also proves the watermark
+// handoff publishes safely.
+func TestMigrateUnderConcurrentIO(t *testing.T) {
+	p, err := New([]*core.Device{
+		core.NewDevice(core.Config{DeviceBytes: 64 << 10}),
+		core.NewDevice(core.Config{DeviceBytes: 64 << 10}),
+	}, Config{Placement: Explicit(0), QueueDepth: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	const (
+		regions    = 4
+		regionSize = 4 << 10
+		rounds     = 40
+	)
+	h, err := p.Malloc("hot", regions*regionSize, core.Target2x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, regions+1)
+	for r := 0; r < regions; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			base := int64(r * regionSize)
+			buf := make([]byte, regionSize/2)
+			got := make([]byte, regionSize/2)
+			for i := 0; i < rounds; i++ {
+				// Odd offset inside the region: the I/O spans entry
+				// boundaries unaligned, crossing the migration watermark
+				// at arbitrary points.
+				off := base + int64(i%64)
+				pattern(buf, byte(r*rounds+i))
+				if r%2 == 0 {
+					if _, err := h.WriteAt(buf, off); err != nil {
+						errc <- fmt.Errorf("region %d write: %w", r, err)
+						return
+					}
+				} else {
+					if _, err := p.SubmitWrite(h, buf, off).Wait(); err != nil {
+						errc <- fmt.Errorf("region %d submit: %w", r, err)
+						return
+					}
+				}
+				if _, err := h.ReadAt(got, off); err != nil {
+					errc <- fmt.Errorf("region %d read: %w", r, err)
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					errc <- fmt.Errorf("region %d round %d: torn read during migration", r, i)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := p.MigrateHandle(h, (h.Shard()+1)%2); err != nil {
+				errc <- fmt.Errorf("migration %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

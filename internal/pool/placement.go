@@ -17,7 +17,16 @@ type ShardLoad struct {
 	BuddyUsed int64
 	// Allocs counts the shard's live allocations.
 	Allocs int
+	// Draining and Failed mark shards that accept no new placements (a
+	// drain in progress, or a killed device tier awaiting recovery). The
+	// pool skips them regardless of the policy's pick; policies should
+	// still avoid them so the pick lands on a usable shard directly.
+	Draining bool
+	Failed   bool
 }
+
+// available reports whether the shard accepts new placements.
+func (l ShardLoad) available() bool { return !l.Draining && !l.Failed }
 
 // Placement chooses the shard an allocation is first offered to. The pool
 // then spills through the remaining shards in index order when the chosen
@@ -47,11 +56,17 @@ func LeastUsed() Placement { return leastUsed{} }
 func (leastUsed) Name() string { return "least-used" }
 
 func (leastUsed) Pick(loads []ShardLoad, _ int64) int {
-	best := 0
-	for i, l := range loads[1:] {
-		if l.DeviceUsed < loads[best].DeviceUsed {
-			best = i + 1
+	best := -1
+	for i, l := range loads {
+		if !l.available() {
+			continue
 		}
+		if best < 0 || l.DeviceUsed < loads[best].DeviceUsed {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0 // nothing available; the pool rejects the Malloc anyway
 	}
 	return best
 }
@@ -68,7 +83,17 @@ func RoundRobin() Placement { return &roundRobin{} }
 func (*roundRobin) Name() string { return "round-robin" }
 
 func (r *roundRobin) Pick(loads []ShardLoad, _ int64) int {
-	return int((r.next.Add(1) - 1) % uint64(len(loads)))
+	start := int((r.next.Add(1) - 1) % uint64(len(loads)))
+	// Rotate past unavailable shards so the pick lands on a usable one;
+	// with every shard down, fall through to the raw rotation (the pool
+	// rejects the Malloc either way).
+	for k := 0; k < len(loads); k++ {
+		i := (start + k) % len(loads)
+		if loads[i].available() {
+			return i
+		}
+	}
+	return start
 }
 
 // explicit pins the start shard.

@@ -5,14 +5,23 @@
 // queues, and aggregates per-device telemetry into one view. One Device is
 // one GPU with one buddy-memory link; the pool is the front door a serving
 // system puts in front of the fleet.
+//
+// Placement is not final: MigrateHandle moves an allocation's framed
+// compressed entries to another shard while traffic continues, Drain
+// evacuates a shard for maintenance, and a failed shard's entries are
+// rebuilt from the buddy carve-out (see migrate.go, drain.go and
+// rebalance.go for the self-healing layer).
 package pool
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"buddy/internal/core"
 )
@@ -39,6 +48,27 @@ type Config struct {
 	// per shard. Each worker's bulk operations additionally fan out
 	// across the device's own span-worker pool.
 	Workers int
+	// Injector, when non-nil, is attached to the pool: its Kill(shard)
+	// marks that shard's device tier failed mid-serve (the fault-injection
+	// hook the heal experiment drives).
+	Injector *FailureInjector
+	// AutoRecover starts the pool's supervisor goroutine; when a shard is
+	// killed it rebuilds the device tier from the buddy carve-out without
+	// operator intervention.
+	AutoRecover bool
+	// OnRecover, when non-nil, is invoked from the supervisor after each
+	// automatic recovery completes (instrumentation hook; it must not block
+	// for long — recovery of other shards queues behind it).
+	OnRecover func(RecoveryStats)
+	// RebalanceInterval enables the rebalancer watcher: every interval the
+	// supervisor scans per-shard pressure (device occupancy + link busy
+	// cycles) and live-migrates an allocation off the most saturated shard
+	// when the skew exceeds RebalanceSkew. Zero disables rebalancing.
+	RebalanceInterval time.Duration
+	// RebalanceSkew is the normalized pressure gap (0..2 scale: occupancy
+	// fraction plus normalized link-busy delta) between the hottest and
+	// coldest shard that triggers a migration. Default 0.5.
+	RebalanceSkew float64
 }
 
 // ErrClosed is returned (wrapped) by operations on a closed pool.
@@ -50,8 +80,19 @@ type Pool struct {
 	devices []*core.Device
 	place   Placement
 
-	allocMu     sync.Mutex  // serializes placement snapshot + reservation
-	loadScratch []ShardLoad // placement snapshot buffer; guarded by allocMu
+	allocMu sync.Mutex // serializes placement snapshot + reservation
+
+	// Routing registry: every live Handle the pool has issued, by id. The
+	// handles themselves carry the authoritative shard route (Handle.rt);
+	// the registry exists so maintenance (drain, rebalance) can find what
+	// lives where. Lock order: routeMu before any Handle.mu.
+	routeMu sync.Mutex
+	handles map[uint64]*Handle
+	nextID  atomic.Uint64
+
+	// state holds each shard's lifecycle state (shardHealthy/Draining/
+	// Failed); see drain.go for the state machine.
+	state []atomic.Int32
 
 	// Close protocol: closed flips first, then stop wakes submitters
 	// blocked on full queues, then subWG drains in-flight submits, and
@@ -63,6 +104,15 @@ type Pool struct {
 	wg     sync.WaitGroup // shard workers
 
 	async asyncCounters
+
+	// Maintenance supervisor (rebalance.go): a single goroutine reacting
+	// to failure notifications and the rebalance ticker.
+	autoRecover bool
+	onRecover   func(RecoveryStats)
+	rebalEvery  time.Duration
+	rebal       *rebalancer
+	failures    chan int
+	maintWG     sync.WaitGroup
 }
 
 // asyncCounters is the async serving path's telemetry.
@@ -90,6 +140,9 @@ func New(devices []*core.Device, cfg Config) (*Pool, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = defaultQueueDepth
 	}
+	if cfg.RebalanceSkew <= 0 {
+		cfg.RebalanceSkew = defaultRebalanceSkew
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = (runtime.GOMAXPROCS(0) + len(devices) - 1) / len(devices)
@@ -97,9 +150,13 @@ func New(devices []*core.Device, cfg Config) (*Pool, error) {
 	p := &Pool{
 		devices:     devices,
 		place:       cfg.Placement,
-		loadScratch: make([]ShardLoad, len(devices)),
+		handles:     make(map[uint64]*Handle),
+		state:       make([]atomic.Int32, len(devices)),
 		stop:        make(chan struct{}),
 		queues:      make([]chan *task, len(devices)),
+		autoRecover: cfg.AutoRecover,
+		onRecover:   cfg.OnRecover,
+		rebalEvery:  cfg.RebalanceInterval,
 	}
 	for i := range p.queues {
 		q := make(chan *task, cfg.QueueDepth)
@@ -108,6 +165,15 @@ func New(devices []*core.Device, cfg Config) (*Pool, error) {
 			p.wg.Add(1)
 			go p.worker(q)
 		}
+	}
+	if cfg.Injector != nil {
+		cfg.Injector.attach(p)
+	}
+	if cfg.AutoRecover || cfg.RebalanceInterval > 0 {
+		p.failures = make(chan int, len(devices))
+		p.rebal = newRebalancer(len(devices), cfg.RebalanceSkew)
+		p.maintWG.Add(1)
+		go p.maintain()
 	}
 	return p, nil
 }
@@ -121,78 +187,155 @@ func (p *Pool) Device(i int) *core.Device { return p.devices[i] }
 // Placement returns the pool's placement policy.
 func (p *Pool) Placement() Placement { return p.place }
 
-// loads snapshots per-shard occupancy for a placement decision into the
-// pool's scratch slice — Malloc is on serving paths, so the snapshot must
-// not allocate per call. Caller must hold allocMu, which both makes the
-// snapshot and the subsequent reservation one atomic placement step and
-// guards the scratch (placement policies only read the slice during Pick).
+// loads snapshots per-shard occupancy for a placement decision. The slice
+// is freshly allocated per call: Placement.Pick is user-supplied code that
+// may legitimately retain what it is handed (a policy tracking load history,
+// say), so the pool never exposes a reused scratch buffer — an earlier
+// revision aliased one here and a retaining policy saw it silently mutate
+// under later Mallocs. Caller must hold allocMu, which makes the snapshot
+// and the subsequent reservation one atomic placement step.
 func (p *Pool) loads() []ShardLoad {
-	out := p.loadScratch
+	out := make([]ShardLoad, len(p.devices))
 	for i, d := range p.devices {
 		primary, _ := d.Tiers()
+		st := p.state[i].Load()
 		out[i] = ShardLoad{
 			Shard:          i,
 			DeviceUsed:     d.DeviceUsed(),
 			DeviceCapacity: primary.Capacity(),
 			BuddyUsed:      d.BuddyUsed(),
 			Allocs:         d.AllocationCount(),
+			Draining:       st == shardDraining,
+			Failed:         st == shardFailed,
 		}
 	}
 	return out
 }
 
+// headroom renders the per-shard free device bytes of a load snapshot for
+// the capacity-exhaustion error.
+func headroom(loads []ShardLoad) string {
+	var b strings.Builder
+	for i, l := range loads {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch {
+		case l.Failed:
+			fmt.Fprintf(&b, "%d:failed", l.Shard)
+		case l.Draining:
+			fmt.Fprintf(&b, "%d:draining", l.Shard)
+		default:
+			fmt.Fprintf(&b, "%d:%d", l.Shard, l.DeviceCapacity-l.DeviceUsed)
+		}
+	}
+	return b.String()
+}
+
 // Malloc places a compressed allocation on a shard chosen by the pool's
 // placement policy, transparently spilling to the next shard (in index
-// order, wrapping) when the chosen one is out of memory. The returned
-// handle routes all later I/O to the owning device. When every shard is
-// full the error wraps core.ErrOutOfMemory.
+// order, wrapping) when the chosen one is out of memory. Draining and
+// failed shards accept no placements. The returned handle routes all later
+// I/O to whichever device currently owns the allocation. When every
+// available shard is full the error wraps each shard's core.ErrOutOfMemory
+// and lists the per-shard free device bytes of the placement snapshot.
 func (p *Pool) Malloc(name string, size int64, target core.TargetRatio) (*Handle, error) {
 	if p.closed.Load() {
 		return nil, fmt.Errorf("pool: Malloc %q: %w", name, ErrClosed)
 	}
 	p.allocMu.Lock()
 	defer p.allocMu.Unlock()
-	start := p.place.Pick(p.loads(), size)
+	loads := p.loads()
+	start := p.place.Pick(loads, size)
 	if start < 0 || start >= len(p.devices) {
 		return nil, fmt.Errorf("pool: placement %s picked shard %d of %d",
 			p.place.Name(), start, len(p.devices))
 	}
-	var oom error
+	available := 0
+	var errs []error
 	for k := 0; k < len(p.devices); k++ {
 		i := (start + k) % len(p.devices)
+		if p.state[i].Load() != shardHealthy {
+			continue
+		}
+		available++
 		a, err := p.devices[i].Malloc(name, size, target)
 		if err == nil {
-			return &Handle{pool: p, shard: i, a: a}, nil
+			return p.adopt(i, a), nil
 		}
 		if !errors.Is(err, core.ErrOutOfMemory) {
 			return nil, err
 		}
-		if oom == nil {
-			oom = err
-		}
+		errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 	}
-	return nil, fmt.Errorf("pool: %q (%d bytes) fits no shard (placement %s, %d shards): %w",
-		name, size, p.place.Name(), len(p.devices), oom)
+	if available == 0 {
+		return nil, fmt.Errorf("pool: %q (%d bytes): no shard accepts placements (%s)",
+			name, size, headroom(loads))
+	}
+	return nil, fmt.Errorf("pool: %q (%d bytes) fits no shard (placement %s; free device bytes per shard: %s): %w",
+		name, size, p.place.Name(), headroom(loads), errors.Join(errs...))
 }
 
-// Handles returns a handle for every live allocation across all shards, in
-// shard order then allocation order.
+// adopt wraps a placed allocation in a registered canonical handle.
+func (p *Pool) adopt(shard int, a *core.Allocation) *Handle {
+	h := &Handle{pool: p, id: p.nextID.Add(1), name: a.Name, size: a.Size()}
+	h.rt = handleRoute{shard: shard, a: a}
+	p.routeMu.Lock()
+	p.handles[h.id] = h
+	p.routeMu.Unlock()
+	return h
+}
+
+// forget removes a closed handle from the routing registry.
+func (p *Pool) forget(h *Handle) {
+	p.routeMu.Lock()
+	delete(p.handles, h.id)
+	p.routeMu.Unlock()
+}
+
+// Handles returns the pool's live handles, ordered by current shard then by
+// allocation age. Handles are canonical: the pool returns the same *Handle
+// it issued at Malloc, so routing state (including an in-flight migration)
+// is shared with the original.
 func (p *Pool) Handles() []*Handle {
+	p.routeMu.Lock()
+	out := make([]*Handle, 0, len(p.handles))
+	for _, h := range p.handles {
+		out = append(out, h)
+	}
+	p.routeMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Shard(), out[j].Shard()
+		if si != sj {
+			return si < sj
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// handlesOn returns the live handles currently routed to the given shard,
+// oldest first.
+func (p *Pool) handlesOn(shard int) []*Handle {
+	p.routeMu.Lock()
 	var out []*Handle
-	for i, d := range p.devices {
-		for _, a := range d.Allocations() {
-			out = append(out, &Handle{pool: p, shard: i, a: a})
+	for _, h := range p.handles {
+		if h.Shard() == shard {
+			out = append(out, h)
 		}
 	}
+	p.routeMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }
 
 // Close shuts the async serving layer down: it waits for every queued
-// operation to drain, then stops the workers. Submits blocked on a full
-// queue at close time fail their futures with ErrClosed instead of
-// deadlocking; already-queued operations complete normally. Allocations
-// and the devices themselves stay usable through their handles; Close only
-// retires the submission queues. Closing twice is an error.
+// operation to drain, then stops the workers and the maintenance
+// supervisor. Submits blocked on a full queue at close time fail their
+// futures with ErrClosed instead of deadlocking; already-queued operations
+// complete normally. Allocations and the devices themselves stay usable
+// through their handles; Close only retires the submission queues and the
+// supervisor. Closing twice is an error.
 func (p *Pool) Close() error {
 	if !p.closed.CompareAndSwap(false, true) {
 		return ErrClosed
@@ -203,45 +346,276 @@ func (p *Pool) Close() error {
 		close(q)
 	}
 	p.wg.Wait()
+	p.maintWG.Wait()
 	return nil
 }
 
-// Handle is a placed allocation: it routes byte-addressed I/O and
-// lifecycle calls to the shard that owns the allocation. It satisfies
-// io.ReaderAt, io.WriterAt and io.Closer like the underlying Allocation.
-type Handle struct {
-	pool  *Pool
+// handleRoute is a handle's authoritative routing state: which shard and
+// device allocation own its bytes, plus the in-flight migration epoch (nil
+// in steady state). Guarded by Handle.mu.
+type handleRoute struct {
 	shard int
 	a     *core.Allocation
+	mig   *handleMigration
 }
 
-// Shard returns the index of the device holding the allocation.
-func (h *Handle) Shard() int { return h.shard }
+// handleMigration is the epoch installed for the duration of one
+// cross-shard move: entries [0, moved) already live on dst, the rest still
+// live on the source allocation. The watermark only advances while the
+// mover holds Handle.mu exclusively, so readers under RLock see a frozen
+// split.
+type handleMigration struct {
+	dstShard int
+	dst      *core.Allocation
+	moved    int // entries transferred so far (watermark)
+}
+
+// Handle is a placed allocation: it routes byte-addressed I/O and
+// lifecycle calls to whichever shard currently owns the allocation — the
+// route is re-resolved on every operation, so a live migration retargets
+// in-flight handles instead of stranding them on the old device. It
+// satisfies io.ReaderAt, io.WriterAt and io.Closer like the underlying
+// Allocation.
+type Handle struct {
+	pool *Pool
+	id   uint64 // stable identity; orders two-handle lock acquisition
+	name string
+	size int64
+
+	// ctl serializes control-plane operations on the handle (MigrateHandle,
+	// Close); mu guards the route and is read-held across every I/O so the
+	// mover's watermark can only advance between operations. Lock order:
+	// ctl before mu; pool.routeMu before either.
+	ctl sync.Mutex
+	mu  sync.RWMutex
+	rt  handleRoute
+}
+
+// Shard returns the index of the device currently holding the allocation.
+// During a live migration this is the source shard until cutover.
+func (h *Handle) Shard() int {
+	h.mu.RLock()
+	s := h.rt.shard
+	h.mu.RUnlock()
+	return s
+}
+
+// Migrating reports whether a cross-shard move is in flight on the handle.
+func (h *Handle) Migrating() bool {
+	h.mu.RLock()
+	m := h.rt.mig != nil
+	h.mu.RUnlock()
+	return m
+}
 
 // Alloc returns the underlying device allocation for entry-granular tools.
-func (h *Handle) Alloc() *core.Allocation { return h.a }
+// During a live migration this is the source allocation; entry-granular
+// callers that must not race a mover should serialize with their own
+// control plane.
+func (h *Handle) Alloc() *core.Allocation {
+	h.mu.RLock()
+	a := h.rt.a
+	h.mu.RUnlock()
+	return a
+}
 
 // Name returns the allocation's name.
-func (h *Handle) Name() string { return h.a.Name }
+func (h *Handle) Name() string { return h.name }
 
 // Size returns the allocation's requested byte size.
-func (h *Handle) Size() int64 { return h.a.Size() }
+func (h *Handle) Size() int64 { return h.size }
 
 // Target returns the allocation's current target compression ratio.
-func (h *Handle) Target() core.TargetRatio { return h.a.Target() }
+func (h *Handle) Target() core.TargetRatio { return h.Alloc().Target() }
 
-// ReadAt reads from the owning device; see core.Allocation.ReadAt.
-func (h *Handle) ReadAt(p []byte, off int64) (int, error) { return h.a.ReadAt(p, off) }
+// ioLocked routes one byte-addressed operation through the current route,
+// splitting it at the migration watermark when a move is in flight: bytes
+// of entries already moved go to the destination allocation, the rest to
+// the source. The watermark is entry-aligned, so the split never tears a
+// partial-entry read-modify-write across devices. Caller holds h.mu (read).
+//
+//buddy:hotpath
+func (h *Handle) ioLocked(p []byte, off int64, write bool) (int, error) {
+	rt := &h.rt
+	m := rt.mig
+	if m == nil {
+		if write {
+			return rt.a.WriteAt(p, off)
+		}
+		return rt.a.ReadAt(p, off)
+	}
+	boundary := int64(m.moved) * core.EntryBytes
+	n := 0
+	if off < boundary {
+		c := len(p)
+		if int64(c) > boundary-off {
+			c = int(boundary - off)
+		}
+		var w int
+		var err error
+		if write {
+			w, err = m.dst.WriteAt(p[:c], off)
+		} else {
+			w, err = m.dst.ReadAt(p[:c], off)
+		}
+		n += w
+		if err != nil || w < c {
+			return n, err
+		}
+	}
+	if n < len(p) {
+		var w int
+		var err error
+		if write {
+			w, err = rt.a.WriteAt(p[n:], off+int64(n))
+		} else {
+			w, err = rt.a.ReadAt(p[n:], off+int64(n))
+		}
+		n += w
+		return n, err
+	}
+	return n, nil
+}
 
-// WriteAt writes through the owning device; see core.Allocation.WriteAt.
-func (h *Handle) WriteAt(p []byte, off int64) (int, error) { return h.a.WriteAt(p, off) }
+// writeEntriesLocked is the batch counterpart of ioLocked for coalesced
+// entry spans: whole entries starting at index start, split at the
+// migration watermark. Caller holds h.mu (read).
+//
+//buddy:hotpath
+func (h *Handle) writeEntriesLocked(start int, data []byte) error {
+	rt := &h.rt
+	m := rt.mig
+	if m == nil {
+		return rt.a.WriteEntries(start, data)
+	}
+	n := len(data) / core.EntryBytes
+	low := m.moved - start
+	switch {
+	case low <= 0:
+		return rt.a.WriteEntries(start, data)
+	case low >= n:
+		return m.dst.WriteEntries(start, data)
+	}
+	if err := m.dst.WriteEntries(start, data[:low*core.EntryBytes]); err != nil {
+		return err
+	}
+	return rt.a.WriteEntries(start+low, data[low*core.EntryBytes:])
+}
 
-// Close frees the allocation on its owning device.
-func (h *Handle) Close() error { return h.a.Close() }
+// readEntriesLocked mirrors writeEntriesLocked for reads.
+//
+//buddy:hotpath
+func (h *Handle) readEntriesLocked(start int, dst []byte) error {
+	rt := &h.rt
+	m := rt.mig
+	if m == nil {
+		return rt.a.ReadEntries(start, dst)
+	}
+	n := len(dst) / core.EntryBytes
+	low := m.moved - start
+	switch {
+	case low <= 0:
+		return rt.a.ReadEntries(start, dst)
+	case low >= n:
+		return m.dst.ReadEntries(start, dst)
+	}
+	if err := m.dst.ReadEntries(start, dst[:low*core.EntryBytes]); err != nil {
+		return err
+	}
+	return rt.a.ReadEntries(start+low, dst[low*core.EntryBytes:])
+}
+
+// ReadAt reads through whichever device currently owns each entry; see
+// core.Allocation.ReadAt for the byte-addressing contract.
+//
+//buddy:hotpath
+func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
+	h.mu.RLock()
+	n, err := h.ioLocked(p, off, false)
+	h.mu.RUnlock()
+	return n, err
+}
+
+// WriteAt writes through whichever device currently owns each entry; see
+// core.Allocation.WriteAt.
+//
+//buddy:hotpath
+func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
+	h.mu.RLock()
+	n, err := h.ioLocked(p, off, true)
+	h.mu.RUnlock()
+	return n, err
+}
+
+// Close frees the allocation on its owning device and retires the handle
+// from the pool's routing registry. An in-flight migration completes (or
+// rolls back) before the free — ctl serializes the two.
+func (h *Handle) Close() error {
+	h.ctl.Lock()
+	defer h.ctl.Unlock()
+	h.mu.RLock()
+	a := h.rt.a
+	h.mu.RUnlock()
+	err := a.Close()
+	h.pool.forget(h)
+	return err
+}
 
 // Memcpy copies n bytes from the start of src to the start of dst through
 // both compression pipelines; the handles may live on different shards
-// (the pool equivalent of a peer-to-peer cudaMemcpy).
+// (the pool equivalent of a peer-to-peer cudaMemcpy). The copy is
+// migration-aware: a handle mid-move is read and written through the
+// watermark split.
 func Memcpy(dst, src *Handle, n int64) (int64, error) {
-	return core.Memcpy(dst.a, src.a, n)
+	if dst == src {
+		dst.mu.RLock()
+		defer dst.mu.RUnlock()
+		if dst.rt.mig == nil {
+			return core.Memcpy(dst.rt.a, dst.rt.a, n)
+		}
+		return memcpyLocked(dst, src, n)
+	}
+	// Two handles: take both route locks in id order so concurrent Memcpys
+	// in opposite directions cannot deadlock.
+	first, second := dst, src
+	if src.id < dst.id {
+		first, second = src, dst
+	}
+	first.mu.RLock()
+	defer first.mu.RUnlock()
+	second.mu.RLock()
+	defer second.mu.RUnlock()
+	if dst.rt.mig == nil && src.rt.mig == nil {
+		return core.Memcpy(dst.rt.a, src.rt.a, n)
+	}
+	return memcpyLocked(dst, src, n)
+}
+
+// memcpyLocked is the migration-aware staging copy; the caller holds both
+// handles' route locks (read).
+func memcpyLocked(dst, src *Handle, n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("pool: negative memcpy length %d", n)
+	}
+	if n > src.size || n > dst.size {
+		return 0, fmt.Errorf("pool: memcpy length %d exceeds src %d or dst %d",
+			n, src.size, dst.size)
+	}
+	buf := make([]byte, 64<<10) // migration-window path; off the hot path
+	var copied int64
+	for copied < n {
+		chunk := int64(len(buf))
+		if rem := n - copied; chunk > rem {
+			chunk = rem
+		}
+		if _, err := src.ioLocked(buf[:chunk], copied, false); err != nil {
+			return copied, err
+		}
+		w, err := dst.ioLocked(buf[:chunk], copied, true)
+		copied += int64(w)
+		if err != nil {
+			return copied, err
+		}
+	}
+	return copied, nil
 }

@@ -1,0 +1,84 @@
+package pool
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"buddy/internal/core"
+)
+
+// retainingPlacement keeps every loads slice it is ever shown — the
+// adversarial policy behind the scratch-aliasing regression. A pool that
+// hands its internal scratch to Pick would see these retained snapshots
+// mutate under later Mallocs.
+type retainingPlacement struct {
+	seen [][]ShardLoad
+}
+
+func (r *retainingPlacement) Name() string { return "retaining" }
+
+func (r *retainingPlacement) Pick(loads []ShardLoad, size int64) int {
+	r.seen = append(r.seen, loads)
+	return 0
+}
+
+// TestPlacementLoadsNotAliased is the loads()-aliasing regression: the
+// slice passed to Placement.Pick must be the policy's to keep. Before the
+// fix the pool reused one scratch slice across calls, so a policy that
+// retained it (for history-aware placement) watched its past observations
+// silently rewrite themselves.
+func TestPlacementLoadsNotAliased(t *testing.T) {
+	place := &retainingPlacement{}
+	p := newTestPool(t, 2, place)
+	if _, err := p.Malloc("a", 8<<10, core.Target1x); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]ShardLoad(nil), place.seen[0]...)
+	// Grow shard 0 so a reused scratch would be overwritten with the new
+	// occupancy on the next call.
+	if _, err := p.Malloc("b", 16<<10, core.Target1x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Malloc("c", 1<<10, core.Target1x); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range place.seen[0] {
+		if l != first[i] {
+			t.Fatalf("retained loads snapshot mutated: shard %d was %+v, now %+v",
+				i, first[i], l)
+		}
+	}
+}
+
+// TestMallocSpillErrorListsHeadroom is the error-context satellite: when an
+// allocation fits no shard, the error must name every shard's free device
+// bytes — not just the first OOM — and still satisfy errors.Is
+// ErrOutOfMemory.
+func TestMallocSpillErrorListsHeadroom(t *testing.T) {
+	p := newTestPool(t, 2, nil)
+	// Occupy shard 1 so the two shards report different headroom.
+	if _, err := p.Malloc("pad", 16<<10, core.Target1x); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Malloc("huge", 1<<20, core.Target1x)
+	if err == nil {
+		t.Fatal("oversized Malloc succeeded")
+	}
+	if !errors.Is(err, core.ErrOutOfMemory) {
+		t.Fatalf("spill error is not ErrOutOfMemory: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "free device bytes per shard") {
+		t.Errorf("spill error lacks the headroom listing: %q", msg)
+	}
+	for _, want := range []string{"0:", "1:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("spill error does not mention shard %q headroom: %q", want, msg)
+		}
+	}
+	// Every shard's own failure reason must survive the wrap.
+	if !strings.Contains(msg, "shard 0:") || !strings.Contains(msg, "shard 1:") {
+		t.Errorf("spill error dropped a shard's cause: %q", msg)
+	}
+}

@@ -28,6 +28,10 @@ type ShardStats struct {
 	// actually spent transferring — idle gaps between requests excluded —
 	// so they divide by a horizon to give true utilization.
 	LinkReadBusyCycles, LinkWriteBusyCycles float64
+	// Draining and Failed are the shard's lifecycle flags (see Drain and
+	// the failure injector); both false on a healthy shard.
+	Draining bool
+	Failed   bool
 }
 
 // AsyncStats is the async serving path's telemetry: how much of the
@@ -103,6 +107,12 @@ func (p *Pool) Stats() Stats {
 		}
 		if c, ok := overflow.(*core.CarveoutBackend); ok {
 			s.LinkReadBusyCycles, s.LinkWriteBusyCycles = c.LinkOccupancy()
+		}
+		switch p.state[i].Load() {
+		case shardDraining:
+			s.Draining = true
+		case shardFailed:
+			s.Failed = true
 		}
 		st.Shards[i] = s
 		st.Traffic = addTraffic(st.Traffic, s.Traffic)

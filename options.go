@@ -1,6 +1,8 @@
 package buddy
 
 import (
+	"time"
+
 	"buddy/internal/core"
 	"buddy/internal/nvlink"
 	"buddy/internal/pool"
@@ -11,11 +13,16 @@ import (
 // overflow tier is carried as a factory so every shard of a pool gets its
 // own instance (a Backend holds capacity and link state).
 type config struct {
-	core       core.Config
-	overflow   func() Backend
-	shards     int
-	placement  pool.Placement
-	queueDepth int
+	core        core.Config
+	overflow    func() Backend
+	shards      int
+	placement   pool.Placement
+	queueDepth  int
+	injector    *pool.FailureInjector
+	autoRecover bool
+	onRecover   func(RecoveryStats)
+	rebalEvery  time.Duration
+	rebalSkew   float64
 }
 
 // Option configures a Device built by New or a Pool built by NewPool. The
@@ -77,8 +84,13 @@ func NewPool(opts ...Option) (*Pool, error) {
 		devices[i] = core.NewDevice(c)
 	}
 	return pool.New(devices, pool.Config{
-		Placement:  cfg.placement,
-		QueueDepth: cfg.queueDepth,
+		Placement:         cfg.placement,
+		QueueDepth:        cfg.queueDepth,
+		Injector:          cfg.injector,
+		AutoRecover:       cfg.autoRecover,
+		OnRecover:         cfg.onRecover,
+		RebalanceInterval: cfg.rebalEvery,
+		RebalanceSkew:     cfg.rebalSkew,
 	})
 }
 
@@ -101,6 +113,38 @@ func WithPlacement(p Placement) Option {
 // The default is GOMAXPROCS at pool construction.
 func WithQueueDepth(n int) Option {
 	return func(cfg *config) { cfg.queueDepth = n }
+}
+
+// WithFailureInjector attaches a fault-injection hook to a NewPool: the
+// injector's Kill(shard) marks that shard's device tier failed mid-serve
+// (operations fail with errors wrapping ErrDeviceFailed) until
+// Pool.Recover — or the AutoRecover supervisor — rebuilds it from the
+// buddy carve-out. Ignored by New.
+func WithFailureInjector(fi *FailureInjector) Option {
+	return func(cfg *config) { cfg.injector = fi }
+}
+
+// WithAutoRecover starts the pool's maintenance supervisor: a killed
+// shard's device tier is rebuilt from the buddy carve-out automatically.
+// onRecover, if non-nil, observes each recovery (instrumentation; it runs
+// on the supervisor goroutine). Ignored by New.
+func WithAutoRecover(onRecover func(RecoveryStats)) Option {
+	return func(cfg *config) {
+		cfg.autoRecover = true
+		cfg.onRecover = onRecover
+	}
+}
+
+// WithRebalance enables the pool's rebalancer watcher: every interval the
+// supervisor scans per-shard pressure (device occupancy plus link busy
+// cycles) and live-migrates an allocation off the most saturated shard when
+// the hottest-to-coldest skew exceeds the threshold (0 selects the default
+// 0.5). Ignored by New.
+func WithRebalance(interval time.Duration, skew float64) Option {
+	return func(cfg *config) {
+		cfg.rebalEvery = interval
+		cfg.rebalSkew = skew
+	}
 }
 
 // WithCodec selects the memory compression algorithm (default BPC, §2.4).
