@@ -129,6 +129,35 @@ func PlaceShard(shard int) Placement { return pool.Explicit(shard) }
 // ErrPoolClosed is returned (wrapped) by operations on a closed Pool.
 var ErrPoolClosed = pool.ErrClosed
 
+// Tenant is a named tenant's front door on a Pool: Malloc places
+// allocations charged against the tenant's quota and scheduled in its
+// priority class and weighted share; Stats reads its serving telemetry.
+// Configure tenants with WithTenants and obtain handles with Pool.Tenant.
+type Tenant = pool.Tenant
+
+// TenantConfig declares one tenant's serving contract: capacity quota
+// (stored compressed bytes), deficit-round-robin weight within its
+// priority class, and the class itself.
+type TenantConfig = pool.TenantConfig
+
+// TenantStats is one tenant's slice of PoolStats: quota occupancy,
+// admission rejections, queue depth and the modeled latency distribution.
+type TenantStats = pool.TenantStats
+
+// LatencyDist summarizes a modeled completion-latency distribution
+// (p50/p95/p99 in device+link cycles) from the serving layer's
+// fixed-bucket log histograms.
+type LatencyDist = pool.LatencyDist
+
+// DefaultTenant is the name of the tenant owning untenanted traffic
+// (plain Pool.Malloc); it always exists.
+const DefaultTenant = pool.DefaultTenant
+
+// ErrQuotaExceeded is returned (wrapped) by Malloc when an allocation
+// would push its tenant's stored compressed bytes over the configured
+// CapacityBytes.
+var ErrQuotaExceeded = pool.ErrQuotaExceeded
+
 // MemcpyHandles copies n bytes from the start of src to the start of dst
 // through both compression pipelines; the handles may live on different
 // shards — the pool equivalent of a peer-to-peer cudaMemcpy.

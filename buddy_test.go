@@ -90,8 +90,8 @@ func TestRunExperimentQuick(t *testing.T) {
 }
 
 func TestExperimentsListMatchesRunner(t *testing.T) {
-	if len(Experiments()) != 19 {
-		t.Errorf("want 19 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 20 {
+		t.Errorf("want 20 experiments, got %d", len(Experiments()))
 	}
 }
 

@@ -22,8 +22,10 @@ func main() {
 	noZeroPage := flag.Bool("no-zeropage", false, "disable the 16x mostly-zero optimization")
 	scale := flag.Int("scale", 1024, "footprint divisor for synthesis")
 	codec := flag.String("codec", "bpc", "compression algorithm (bpc, bdi, fpc, fvc, cpack, zero)")
-	fig := flag.String("fig", "", "render a whole-suite profiling experiment from the registry (fig7, fig8, fig9, serve) instead of one benchmark")
-	shards := flag.Int("shards", 0, "pool width when -fig serve re-profiles a sharded fleet (0 = default 4)")
+	fig := flag.String("fig", "", "render a whole-suite profiling experiment from the registry (fig7, fig8, fig9, serve, qos) instead of one benchmark")
+	shards := flag.Int("shards", 0, "pool width when -fig serve or qos runs a sharded fleet (0 = default 4)")
+	tenants := flag.Int("tenants", 0, "batch tenant population when -fig qos runs (0 = default 2)")
+	qosSLO := flag.Float64("qos", 0, "latency p99 SLO in modeled cycles when -fig qos runs (0 = default 4000)")
 	flag.Parse()
 
 	c, err := buddy.CodecByName(*codec)
@@ -48,6 +50,12 @@ func main() {
 		if *shards > 0 {
 			sc.Shards = *shards
 		}
+		if *tenants > 0 {
+			sc.Tenants = *tenants
+		}
+		if *qosSLO > 0 {
+			sc.QoSSLOCycles = *qosSLO
+		}
 		if err := buddy.RunExperiment(os.Stdout, *fig, sc); err != nil {
 			fmt.Fprintln(os.Stderr, "buddyprof:", err)
 			os.Exit(1)
@@ -62,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "or -fig for the registry's whole-suite profiling experiments:")
 		for _, e := range buddy.ExperimentRegistry() {
 			switch e.Name {
-			case "fig7", "fig8", "fig9", "serve":
+			case "fig7", "fig8", "fig9", "serve", "qos":
 				fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.Name, e.Description)
 			}
 		}

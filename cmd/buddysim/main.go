@@ -23,6 +23,8 @@ func main() {
 	list := flag.Bool("list", false, "list registered experiments")
 	scale := flag.Int("scale", 0, "override workload footprint divisor")
 	shards := flag.Int("shards", 0, "pool width for the serve experiment (0 = default 4)")
+	tenants := flag.Int("tenants", 0, "batch tenant population for the qos experiment (0 = default 2)")
+	qosSLO := flag.Float64("qos", 0, "qos experiment latency p99 SLO in modeled cycles (0 = default 4000)")
 	flag.Parse()
 
 	if *list || *expName == "" {
@@ -44,6 +46,12 @@ func main() {
 	}
 	if *shards > 0 {
 		sc.Shards = *shards
+	}
+	if *tenants > 0 {
+		sc.Tenants = *tenants
+	}
+	if *qosSLO > 0 {
+		sc.QoSSLOCycles = *qosSLO
 	}
 	if err := buddy.RunExperiment(os.Stdout, *expName, sc); err != nil {
 		fmt.Fprintln(os.Stderr, "buddysim:", err)

@@ -1,0 +1,112 @@
+// QoS: carve one buddy-compressed pool into named tenants and watch the
+// serving contracts hold — a capacity quota refuses an over-budget
+// Malloc with a typed error, a high-priority tenant's small bursts cut
+// ahead of a deep batch backlog in modeled latency, and deficit
+// round-robin serves the weight-3 trainer's backlog three bytes to one,
+// which lands in the table as roughly halved completion latency.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"buddy"
+	"buddy/internal/gen"
+)
+
+const (
+	shards = 2
+	region = int64(1 << 20) // per-tenant bytes per shard
+	chunk  = int64(64 << 10)
+	laps   = 4 // each batch tenant pre-submits laps x region per shard
+)
+
+func main() {
+	p, err := buddy.NewPool(
+		buddy.WithShards(shards),
+		buddy.WithDeviceBytes(3*region),
+		buddy.WithPlacement(buddy.PlaceRoundRobin()),
+		// Rings deep enough to hold the whole pre-submitted backlog.
+		buddy.WithQueueDepth(laps*int(region/chunk)),
+		buddy.WithTenants(map[string]buddy.TenantConfig{
+			"train-heavy": {Weight: 3},
+			"train":       {Weight: 1},
+			// The inference tenant outranks the trainers and is capped at
+			// exactly its working set: one region per shard at 2x.
+			"infer": {Priority: 1, CapacityBytes: shards * (region / buddy.EntryBytes) * int64(buddy.Target2x.DeviceBytes())},
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	data := make([]byte, region)
+	(gen.SparseFP16{ZeroFrac: 0.9}).Fill(data, gen.NewRNG(7, 0))
+
+	// Each batch tenant claims one region per shard and floods the pool:
+	// the whole demand is submitted up front, so the scheduler arbitrates
+	// a standing backlog.
+	var futs []*buddy.Future
+	for _, name := range []string{"train-heavy", "train"} {
+		door, err := p.Tenant(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for s := 0; s < shards; s++ {
+			h, err := door.Malloc(fmt.Sprintf("%s/r%d", name, s), region, buddy.Target2x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for off := int64(0); off < laps*region; off += chunk {
+				o := off % region
+				futs = append(futs, p.SubmitWrite(h, data[o:o+chunk], o))
+			}
+		}
+	}
+
+	// The inference tenant fills its quota, then shows admission control:
+	// one more region must be refused with the typed error.
+	infer, err := p.Tenant("infer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bursts []*buddy.Handle
+	for s := 0; s < shards; s++ {
+		h, err := infer.Malloc(fmt.Sprintf("infer/r%d", s), region, buddy.Target2x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bursts = append(bursts, h)
+	}
+	if over, probe := infer.Malloc("infer/over", region, buddy.Target2x); probe != nil {
+		fmt.Printf("over-quota Malloc: %v (typed: %v)\n\n", probe, errors.Is(probe, buddy.ErrQuotaExceeded))
+	} else {
+		over.Close()
+		log.Fatal("over-quota Malloc unexpectedly succeeded")
+	}
+
+	// Closed-loop inference bursts ride their priority class past the
+	// batch backlog: each 16 KiB burst waits before the next goes out.
+	for i := 0; i < 64; i++ {
+		h := bursts[i%shards]
+		if _, err := p.SubmitWrite(h, data[:16<<10], 0).Wait(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("%-12s %4s %6s %10s %9s %9s\n", "tenant", "prio", "weight", "served MiB", "p50 cyc", "p99 cyc")
+	for _, ts := range p.Stats().Tenants {
+		if ts.Submitted == 0 {
+			continue
+		}
+		fmt.Printf("%-12s %4d %6d %10.1f %9.0f %9.0f\n", ts.Name, ts.Priority, ts.Weight,
+			float64(ts.ServedBytes)/(1<<20), ts.Latency.P50, ts.Latency.P99)
+	}
+}

@@ -21,6 +21,14 @@ type ExperimentScale struct {
 	// Shards is the pool width for the sharded-serving experiment
 	// (0 = the default 4); the cmds' -shards flag lands here.
 	Shards int
+	// Tenants is the batch tenant population for the qos experiment
+	// (0 = the default exp.QoSBatchTenants); the cmds' -tenants flag
+	// lands here.
+	Tenants int
+	// QoSSLOCycles is the qos experiment's latency-tenant p99 bound in
+	// modeled cycles (0 = the default exp.QoSDefaultSLOCycles); the cmds'
+	// -qos flag lands here.
+	QoSSLOCycles float64
 }
 
 // DefaultScale runs at the repository's reference fidelity.
@@ -56,6 +64,7 @@ func init() {
 		{Name: "reprofile", Description: "live target-ratio migration on a drifting workload (§3.4 extension)", Run: runReprofile},
 		{Name: "serve", Description: "sharded multi-device serving: aggregate throughput, 1 vs N shards", Run: runServe},
 		{Name: "heal", Description: "self-healing fleet: kill a shard mid-serve, rebuild from buddy memory, measure the dip", Run: runHeal},
+		{Name: "qos", Description: "tenant-aware serving: latency SLO under batch saturation, weighted batch shares, admission control", Run: runQoS},
 	} {
 		RegisterExperiment(e)
 	}
@@ -351,6 +360,44 @@ func runHeal(w io.Writer, sc ExperimentScale) error {
 	_, err = fmt.Fprintf(w,
 		"quiesced migration: %d decodes, %d encodes (codec-matched => 0/0); migration bytes src=%d dst=%d\n",
 		res.MigrateDecodes, res.MigrateEncodes, res.MigrationBytesSrc, res.MigrationBytesDst)
+	return err
+}
+
+func runQoS(w io.Writer, sc ExperimentScale) error {
+	res, err := exp.QoS(sc.Workload, sc.Shards, sc.Tenants, sc.QoSSLOCycles)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, ts := range res.Tenants {
+		rows = append(rows, []string{
+			ts.Name,
+			fmt.Sprintf("%d", ts.Priority),
+			fmt.Sprintf("%d", ts.Weight),
+			fmt.Sprintf("%.1f", float64(ts.ServedBytes)/(1<<20)),
+			fmt.Sprintf("%.0f", ts.Latency.P50),
+			fmt.Sprintf("%.0f", ts.Latency.P99),
+			fmt.Sprintf("%d", ts.Submitted),
+			fmt.Sprintf("%d", ts.Rejected),
+		})
+	}
+	fmt.Fprint(w, exp.FormatTable(
+		[]string{"Tenant", "Prio", "Weight", "Served MiB", "p50 cyc", "p99 cyc", "Submitted", "Rejected"}, rows))
+	verdict := func(ok bool) string {
+		if ok {
+			return "met"
+		}
+		return "MISSED"
+	}
+	fmt.Fprintf(w,
+		"latency tenant p99 vs SLO %.0f cycles: %s | %d closed-loop bursts under %d batch tenants\n",
+		res.SLOCycles, verdict(res.SLOMet), res.Bursts, res.BatchTenants)
+	fmt.Fprintf(w,
+		"heavy batch share %.3f vs entitled %.3f (weights %d:1, steady window %d MiB): %s\n",
+		res.HeavyShare, res.EntitledShare, exp.QoSHeavyWeight, res.BatchBytes>>20, verdict(res.ShareMet))
+	_, err = fmt.Fprintf(w,
+		"admission control: over-quota Malloc rejected typed=%v; %d shards, wall %.2fs\n",
+		res.QuotaRejected, res.Shards, res.WallSeconds)
 	return err
 }
 

@@ -51,6 +51,29 @@ func wordKernel(dst []byte, w *[16]uint64) []byte {
 	return append(dst, spill...)
 }
 
+// drrDequeue stands in for the tenant scheduler's weighted-fair dequeue:
+// the run window is a caller-provided fixed array and the rings are
+// preallocated, so a make for a per-grant scratch slice is a lost
+// zero-alloc serving path, not a style issue.
+//
+//buddy:hotpath
+func drrDequeue(rings [][]int, run *[8]int) int {
+	n := 0
+	for i := range rings {
+		if len(rings[i]) == 0 {
+			continue
+		}
+		grant := make([]int, 0, 8) // want `hotpath but calls make`
+		grant = append(grant, rings[i][0])
+		run[n] = grant[0]
+		n++
+		if n == len(run) {
+			break
+		}
+	}
+	return n
+}
+
 // worker shows the parallelSpan shape: the marker on the line above a
 // function literal marks the literal.
 func worker(run func(func(lo, hi int))) {

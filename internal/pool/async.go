@@ -9,19 +9,21 @@ import (
 )
 
 // Async batched serving: many clients issue I/O against the pool without
-// serializing on any one device's shard locks. Each shard owns a bounded
-// submission queue drained by its own workers; Submit routes an operation
-// to the owning shard's queue and returns a Future immediately.
+// serializing on any one device's shard locks. Each shard owns a
+// tenant-aware scheduler (sched.go) drained by its own workers; Submit
+// routes an operation to the owning shard and returns a Future
+// immediately.
 //
 // The fast path is allocation-free and batch-shaped: tasks and futures are
 // recycled through sync.Pools, completion is a WaitGroup-style semaphore
 // (the Done channel materializes lazily, only for select-users), and each
-// worker drains its queue greedily, coalescing runs of adjacent tasks —
-// same allocation, same kind, contiguous entry-aligned offsets — into one
-// entry span dispatched through the device's batch WriteEntries/ReadEntries
-// primitives. A client streaming small chunks therefore still reaches the
-// batch data path: the queue, not the submission size, sets the dispatch
-// granularity.
+// dequeued window — drawn from a single tenant's ring, in FIFO order — is
+// executed as maximal coalescible runs of adjacent tasks (same allocation,
+// same kind, contiguous entry-aligned offsets) dispatched through the
+// device's batch WriteEntries/ReadEntries primitives. A client streaming
+// small chunks therefore still reaches the batch data path: the queue, not
+// the submission size, sets the dispatch granularity — and coalescing
+// never crosses a tenant boundary, because a window never does.
 
 // opKind selects an async operation.
 type opKind uint8
@@ -122,13 +124,16 @@ func (f *Future) complete(n int, err error) {
 	f.wg.Done()
 }
 
-// task is one queued operation.
+// task is one queued operation. stamp is the submitting shard's modeled
+// clock reading at enqueue time; completion latency is the clock distance
+// from stamp to the run's completion (sched.advance).
 type task struct {
-	kind opKind
-	h    *Handle
-	buf  []byte
-	off  int64
-	fut  *Future
+	kind  opKind
+	h     *Handle
+	buf   []byte
+	off   int64
+	fut   *Future
+	stamp uint64
 }
 
 var taskPool = sync.Pool{New: func() any { return new(task) }}
@@ -198,35 +203,21 @@ func coalescible(prev, next *task) bool {
 	return spanEligible(next)
 }
 
-// worker drains one shard's queue. Each blocking receive is followed by a
-// greedy non-blocking drain of whatever else is queued (up to maxRunTasks),
-// and the drained window is executed as maximal coalescible runs, in FIFO
-// order — per-queue ordering is preserved exactly; coalescing never
-// reorders.
+// worker drains one shard's scheduler. Each dequeue hands it a window of
+// tasks from a single tenant's ring (the scheduler's priority/DRR choice),
+// and the window is executed as maximal coalescible runs, in that ring's
+// FIFO order — per-tenant ordering is preserved exactly; coalescing never
+// reorders and never crosses tenants.
 //
 //buddy:hotpath
-func (p *Pool) worker(q chan *task) {
+func (p *Pool) worker(shard int) {
 	defer p.wg.Done()
+	s := p.scheds[shard]
 	var run [maxRunTasks]*task
 	for {
-		t, ok := <-q
-		if !ok {
+		n := s.dequeue(&run)
+		if n == 0 {
 			return
-		}
-		run[0] = t
-		n := 1
-	drain:
-		for n < maxRunTasks {
-			select {
-			case t2, ok2 := <-q:
-				if !ok2 {
-					break drain
-				}
-				run[n] = t2
-				n++
-			default:
-				break drain
-			}
 		}
 		for i := 0; i < n; {
 			j := i + 1
@@ -237,7 +228,7 @@ func (p *Pool) worker(q chan *task) {
 					j++
 				}
 			}
-			p.execRun(run[i:j])
+			p.execRun(s, run[i:j])
 			i = j
 		}
 	}
@@ -248,12 +239,14 @@ func (p *Pool) worker(q chan *task) {
 // buffer and moves it through the device's batch entry primitives, then
 // completes every constituent future with its own byte count. If the batch
 // fails, the run is replayed task by task so each future reports exactly
-// the n/err uncoalesced execution would have produced.
+// the n/err uncoalesced execution would have produced. On success the
+// shard's modeled clock advances by the run's service cycles and every
+// constituent task's latency is observed on its tenant.
 //
 //buddy:hotpath
-func (p *Pool) execRun(ts []*task) {
+func (p *Pool) execRun(s *sched, ts []*task) {
 	if len(ts) == 1 {
-		p.execOne(ts[0])
+		p.execOne(s, ts[0])
 		return
 	}
 	p.async.coalescedRuns.Add(1)
@@ -288,16 +281,19 @@ func (p *Pool) execRun(ts []*task) {
 		// individually for exact per-task results.
 		coalesceBufPool.Put(buf)
 		for _, t := range ts {
-			p.execOne(t)
+			p.execOne(s, t)
 		}
 		return
 	}
+	end := s.advance(h, total)
+	tn := h.tn
 	off := 0
 	for _, t := range ts {
 		if t.kind == opRead {
 			copy(t.buf, span[off:off+len(t.buf)])
 		}
 		off += len(t.buf)
+		tn.observe(end-t.stamp, len(t.buf))
 		t.fut.complete(len(t.buf), nil)
 		putTask(t)
 	}
@@ -305,10 +301,12 @@ func (p *Pool) execRun(ts []*task) {
 }
 
 // execOne executes a single task through the allocation's byte-addressed
-// path and completes its future.
+// path and completes its future. Successful completions advance the
+// shard's modeled clock and observe the task's latency on its tenant;
+// failures complete without touching the latency books.
 //
 //buddy:hotpath
-func (p *Pool) execOne(t *task) {
+func (p *Pool) execOne(s *sched, t *task) {
 	var n int
 	var err error
 	if t.kind == opWrite {
@@ -316,13 +314,17 @@ func (p *Pool) execOne(t *task) {
 	} else {
 		n, err = t.h.ReadAt(t.buf, t.off)
 	}
+	if err == nil {
+		end := s.advance(t.h, n)
+		t.h.tn.observe(end-t.stamp, n)
+	}
 	t.fut.complete(n, err)
 	putTask(t)
 }
 
-// submit enqueues a task on the handle's shard, blocking while that
-// shard's queue is full. A closed pool fails the future immediately;
-// Close while a submit is blocked on a full queue fails it cleanly too.
+// submit enqueues a task on the handle's shard, blocking while the
+// tenant's ring there is full. A closed pool fails the future immediately;
+// Close while a submit is parked on a full ring fails it cleanly too.
 func (p *Pool) submit(t *task) *Future {
 	fut := t.fut
 	// The owning shard is re-resolved per submission through the handle's
@@ -331,8 +333,9 @@ func (p *Pool) submit(t *task) *Future {
 	// routes through the handle again, not through the queue it sat on.
 	shard := t.h.Shard()
 	// subWG.Add happens before the closed check; Close stores the flag
-	// before waiting on subWG — either this submit observes closed, or
-	// Close waits for its enqueue to finish before closing the queues.
+	// before shutting the schedulers down and waiting on subWG — either
+	// this submit observes closed, or its enqueue lands before shutdown
+	// (and drains) or returns ErrClosed from the scheduler itself.
 	p.subWG.Add(1)
 	if p.closed.Load() {
 		p.subWG.Done()
@@ -340,12 +343,15 @@ func (p *Pool) submit(t *task) *Future {
 		putTask(t)
 		return fut
 	}
-	select {
-	case p.queues[shard] <- t:
-		p.async.submitted.Add(1)
-	case <-p.stop:
-		fut.complete(0, fmt.Errorf("pool: submit on shard %d: %w", shard, ErrClosed))
+	s := p.scheds[shard]
+	tn := t.h.tn
+	t.stamp = s.clock.Load()
+	if err := s.enqueue(t, tn); err != nil {
+		fut.complete(0, fmt.Errorf("pool: submit on shard %d: %w", shard, err))
 		putTask(t)
+	} else {
+		p.async.submitted.Add(1)
+		tn.submitted.Add(1)
 	}
 	p.subWG.Done()
 	return fut

@@ -32,7 +32,10 @@ func newAsyncPool(t *testing.T, shards, workers, depth int) *Pool {
 // caller side — tasks and futures come from pools, completion is
 // channel-free, and the worker stages coalesced runs in pooled buffers.
 // AllocsPerRun counts allocations process-wide, so worker-side allocations
-// would fail this test too.
+// would fail this test too. The tenant leg submits through a configured
+// non-default tenant in a higher priority class, so the classed
+// weighted-fair dequeue, admission plumbing and latency recording are all
+// on the measured path.
 func TestSubmitSteadyStateZeroAlloc(t *testing.T) {
 	if testing.CoverMode() != "" {
 		t.Skip("coverage instrumentation allocates")
@@ -40,12 +43,37 @@ func TestSubmitSteadyStateZeroAlloc(t *testing.T) {
 	if race.Enabled {
 		t.Skip("race instrumentation allocates")
 	}
-	p := newAsyncPool(t, 1, 1, 8)
-	const n = 64 * core.EntryBytes
-	h, err := p.Malloc("steady", n, core.Target2x)
-	if err != nil {
-		t.Fatal(err)
-	}
+	t.Run("default", func(t *testing.T) {
+		p := newAsyncPool(t, 1, 1, 8)
+		h, err := p.Malloc("steady", 64*core.EntryBytes, core.Target2x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSteadyZeroAlloc(t, p, h)
+	})
+	t.Run("tenant", func(t *testing.T) {
+		devices := []*core.Device{core.NewDevice(core.Config{DeviceBytes: 4 << 20})}
+		p, err := New(devices, Config{Workers: 1, QueueDepth: 8, Tenants: map[string]TenantConfig{
+			"latency": {Priority: 2, Weight: 2, CapacityBytes: 1 << 20},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = p.Close() })
+		door, err := p.Tenant("latency")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := door.Malloc("steady", 64*core.EntryBytes, core.Target2x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSteadyZeroAlloc(t, p, h)
+	})
+}
+
+func checkSteadyZeroAlloc(t *testing.T, p *Pool, h *Handle) {
+	t.Helper()
 	buf := make([]byte, core.EntryBytes)
 	pattern(buf, 3)
 	// Warm up: first touches allocate retained stream buffers and pool

@@ -23,8 +23,12 @@ import (
 // working set (write + read-back) into a 4-shard pool in chunkBytes
 // submissions. rebalEvery > 0 additionally runs the rebalancer watcher on
 // that interval throughout — the "watched" leg pins that an aggressively
-// ticking watcher costs the serve path nothing measurable.
-func benchServe(b *testing.B, chunkBytes int, rebalEvery time.Duration) {
+// ticking watcher costs the serve path nothing measurable. tenants, when
+// non-nil, configures the pool's tenant set and spreads the clients
+// round-robin across the named tenants — the "tenants" leg pins that
+// classed, weighted-fair dequeue costs roughly what the single-ring path
+// does.
+func benchServe(b *testing.B, chunkBytes int, rebalEvery time.Duration, tenants map[string]TenantConfig) {
 	const (
 		clients    = 8
 		perClient  = 256 << 10
@@ -35,11 +39,22 @@ func benchServe(b *testing.B, chunkBytes int, rebalEvery time.Duration) {
 	for i := range devices {
 		devices[i] = core.NewDevice(core.Config{DeviceBytes: shardBytes})
 	}
-	p, err := New(devices, Config{RebalanceInterval: rebalEvery})
+	p, err := New(devices, Config{RebalanceInterval: rebalEvery, Tenants: tenants})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer p.Close()
+	var doors []*Tenant
+	for _, name := range p.TenantNames() {
+		if name == DefaultTenant && tenants != nil {
+			continue
+		}
+		door, err := p.Tenant(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doors = append(doors, door)
+	}
 
 	// Per-client working sets: 90%-sparse fp16 activations, the cDMA-style
 	// ML serving traffic the paper (and the chunked shape) targets.
@@ -49,7 +64,7 @@ func benchServe(b *testing.B, chunkBytes int, rebalEvery time.Duration) {
 	for c := range data {
 		data[c] = make([]byte, perClient)
 		(gen.SparseFP16{ZeroFrac: 0.9}).Fill(data[c], r)
-		h, err := p.Malloc(fmt.Sprintf("c%d", c), int64(len(data[c])), core.Target2x)
+		h, err := doors[c%len(doors)].Malloc(fmt.Sprintf("c%d", c), int64(len(data[c])), core.Target2x)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,13 +118,60 @@ func benchServe(b *testing.B, chunkBytes int, rebalEvery time.Duration) {
 }
 
 func BenchmarkPoolServe(b *testing.B) {
-	b.Run("bulk", func(b *testing.B) { benchServe(b, 64<<10, 0) })
-	b.Run("chunked", func(b *testing.B) { benchServe(b, 4<<10, 0) })
+	b.Run("bulk", func(b *testing.B) { benchServe(b, 64<<10, 0, nil) })
+	b.Run("chunked", func(b *testing.B) { benchServe(b, 4<<10, 0, nil) })
 	// Same bulk traffic with the rebalancer watcher ticking every 100 µs —
 	// far hotter than any deployment would run it. The baseline pins this
 	// leg at the bulk leg's ns/entry, so a watcher that starts costing the
 	// serve path real time fails the gate.
-	b.Run("watched", func(b *testing.B) { benchServe(b, 64<<10, 100*time.Microsecond) })
+	b.Run("watched", func(b *testing.B) { benchServe(b, 64<<10, 100*time.Microsecond, nil) })
+	// Same bulk traffic spread across four tenants in two priority classes
+	// with unequal weights — every dequeue walks the classed, weighted-fair
+	// path instead of the single-ring fast case. Pinned near the bulk leg:
+	// multi-tenant scheduling must not tax the serve path.
+	b.Run("tenants", func(b *testing.B) {
+		benchServe(b, 64<<10, 0, map[string]TenantConfig{
+			"batch-a": {Weight: 3},
+			"batch-b": {Weight: 1},
+			"lat-a":   {Priority: 2},
+			"lat-b":   {Priority: 1},
+		})
+	})
+}
+
+// BenchmarkQoSDequeue pins the scheduler's control-path cost in
+// isolation: one enqueue plus its dequeue per task, cycled across four
+// tenants in two priority classes so every window exercises class
+// selection and deficit round-robin. No worker or device behind it — this
+// is the pure scheduling overhead added to every submitted operation, and
+// it must stay allocation-free (the gate pins allocs/op at zero).
+func BenchmarkQoSDequeue(b *testing.B) {
+	tens, _ := buildTenants(map[string]TenantConfig{
+		"batch":   {Weight: 3},
+		"bulk":    {Weight: 1},
+		"latency": {Priority: 2},
+	})
+	s := newSched(tens, 64)
+	buf := make([]byte, 4<<10)
+	tasks := make([]*task, len(tens))
+	for i := range tasks {
+		tasks[i] = &task{buf: buf}
+	}
+	var run [maxRunTasks]*task
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k, t := range tasks {
+			if err := s.enqueue(t, tens[k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for q := len(tasks); q > 0; {
+			q -= s.dequeue(&run)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tasks)), "ns/entry")
 }
 
 // BenchmarkRebalanceScan pins the watcher's per-tick cost: one pressure

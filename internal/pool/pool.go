@@ -69,6 +69,13 @@ type Config struct {
 	// fraction plus normalized link-busy delta) between the hottest and
 	// coldest shard that triggers a migration. Default 0.5.
 	RebalanceSkew float64
+	// Tenants declares the pool's named tenants: capacity quota, scheduling
+	// weight and priority class per name (see TenantConfig). The default
+	// tenant always exists and owns untenanted traffic; an entry named
+	// DefaultTenant configures it. Each tenant gets its own QueueDepth-deep
+	// ring on every shard, so one tenant's backlog never consumes another's
+	// queue space.
+	Tenants map[string]TenantConfig
 }
 
 // ErrClosed is returned (wrapped) by operations on a closed pool.
@@ -94,13 +101,20 @@ type Pool struct {
 	// Failed); see drain.go for the state machine.
 	state []atomic.Int32
 
-	// Close protocol: closed flips first, then stop wakes submitters
-	// blocked on full queues, then subWG drains in-flight submits, and
-	// only then do the queues close — no lock is ever held across a send.
+	// Tenancy: tenants[0] is the default tenant; the rest follow in sorted
+	// name order. Every shard's scheduler indexes its rings by tenant.idx.
+	tenants      []*tenant
+	tenantByName map[string]*tenant
+
+	// Close protocol: closed flips first, then stop retires the maintenance
+	// supervisor and each shard's scheduler shuts down (waking submitters
+	// parked on full rings, which fail with ErrClosed), then subWG drains
+	// in-flight submits while the workers finish the queued backlog and
+	// exit.
 	closed atomic.Bool
 	stop   chan struct{}
 	subWG  sync.WaitGroup // in-flight submit calls
-	queues []chan *task
+	scheds []*sched
 	wg     sync.WaitGroup // shard workers
 
 	async asyncCounters
@@ -153,17 +167,17 @@ func New(devices []*core.Device, cfg Config) (*Pool, error) {
 		handles:     make(map[uint64]*Handle),
 		state:       make([]atomic.Int32, len(devices)),
 		stop:        make(chan struct{}),
-		queues:      make([]chan *task, len(devices)),
+		scheds:      make([]*sched, len(devices)),
 		autoRecover: cfg.AutoRecover,
 		onRecover:   cfg.OnRecover,
 		rebalEvery:  cfg.RebalanceInterval,
 	}
-	for i := range p.queues {
-		q := make(chan *task, cfg.QueueDepth)
-		p.queues[i] = q
+	p.tenants, p.tenantByName = buildTenants(cfg.Tenants)
+	for i := range p.scheds {
+		p.scheds[i] = newSched(p.tenants, cfg.QueueDepth)
 		for w := 0; w < workers; w++ {
 			p.wg.Add(1)
-			go p.worker(q)
+			go p.worker(i)
 		}
 	}
 	if cfg.Injector != nil {
@@ -239,10 +253,34 @@ func headroom(loads []ShardLoad) string {
 // I/O to whichever device currently owns the allocation. When every
 // available shard is full the error wraps each shard's core.ErrOutOfMemory
 // and lists the per-shard free device bytes of the placement snapshot.
+// The allocation is owned by — and charged against — the default tenant;
+// see Pool.Tenant for named-tenant placement.
 func (p *Pool) Malloc(name string, size int64, target core.TargetRatio) (*Handle, error) {
+	return p.mallocTenant(p.tenants[0], name, size, target)
+}
+
+// mallocTenant is Malloc with an owning tenant: admission control charges
+// the allocation's stored compressed bytes against the tenant's quota
+// before placement, and refunds the charge when no shard fits.
+func (p *Pool) mallocTenant(tn *tenant, name string, size int64, target core.TargetRatio) (*Handle, error) {
 	if p.closed.Load() {
 		return nil, fmt.Errorf("pool: Malloc %q: %w", name, ErrClosed)
 	}
+	need := quotaFor(size, target)
+	if err := tn.admit(name, need); err != nil {
+		return nil, err
+	}
+	h, err := p.place1(tn, need, name, size, target)
+	if err != nil {
+		tn.release(need)
+		return nil, err
+	}
+	return h, nil
+}
+
+// place1 runs one placement attempt (with spill-over) for an admitted
+// allocation. Caller owns the tenant charge and refunds it on error.
+func (p *Pool) place1(tn *tenant, need int64, name string, size int64, target core.TargetRatio) (*Handle, error) {
 	p.allocMu.Lock()
 	defer p.allocMu.Unlock()
 	loads := p.loads()
@@ -261,7 +299,7 @@ func (p *Pool) Malloc(name string, size int64, target core.TargetRatio) (*Handle
 		available++
 		a, err := p.devices[i].Malloc(name, size, target)
 		if err == nil {
-			return p.adopt(i, a), nil
+			return p.adopt(i, a, tn, need), nil
 		}
 		if !errors.Is(err, core.ErrOutOfMemory) {
 			return nil, err
@@ -276,9 +314,11 @@ func (p *Pool) Malloc(name string, size int64, target core.TargetRatio) (*Handle
 		name, size, p.place.Name(), headroom(loads), errors.Join(errs...))
 }
 
-// adopt wraps a placed allocation in a registered canonical handle.
-func (p *Pool) adopt(shard int, a *core.Allocation) *Handle {
-	h := &Handle{pool: p, id: p.nextID.Add(1), name: a.Name, size: a.Size()}
+// adopt wraps a placed allocation in a registered canonical handle owned
+// by the given tenant, carrying the quota bytes charged for it.
+func (p *Pool) adopt(shard int, a *core.Allocation, tn *tenant, quota int64) *Handle {
+	h := &Handle{pool: p, id: p.nextID.Add(1), name: a.Name, size: a.Size(), tn: tn}
+	h.quota.Store(quota)
 	h.rt = handleRoute{shard: shard, a: a}
 	p.routeMu.Lock()
 	p.handles[h.id] = h
@@ -340,11 +380,16 @@ func (p *Pool) Close() error {
 	if !p.closed.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
-	close(p.stop)  // wake submitters blocked on full queues
-	p.subWG.Wait() // no submit is mid-enqueue past this point
-	for _, q := range p.queues {
-		close(q)
+	close(p.stop) // retire the maintenance supervisor
+	// Shutting a scheduler down wakes submitters parked on full rings
+	// (their enqueues fail with ErrClosed) and lets the workers finish the
+	// queued backlog and exit; a submit that raced past the closed check
+	// either lands before the shutdown (and is drained) or is refused by
+	// the scheduler itself.
+	for _, s := range p.scheds {
+		s.shutdown()
 	}
+	p.subWG.Wait() // no submit is mid-enqueue past this point
 	p.wg.Wait()
 	p.maintWG.Wait()
 	return nil
@@ -382,10 +427,17 @@ type Handle struct {
 	name string
 	size int64
 
+	// tn is the owning tenant; quota is the stored compressed bytes
+	// charged against it — Swap'd to zero exactly once on Close, and
+	// re-derived by requota when a reprofile changes the target.
+	tn    *tenant
+	quota atomic.Int64
+
 	// ctl serializes control-plane operations on the handle (MigrateHandle,
-	// Close); mu guards the route and is read-held across every I/O so the
-	// mover's watermark can only advance between operations. Lock order:
-	// ctl before mu; pool.routeMu before either.
+	// Close, requota); mu guards the route and is read-held across every
+	// I/O so the mover's watermark can only advance between operations.
+	// Lock order: ctl before mu, and ctl before pool.routeMu (Close holds
+	// ctl across forget; nothing acquires ctl under routeMu).
 	ctl sync.Mutex
 	mu  sync.RWMutex
 	rt  handleRoute
@@ -547,9 +599,10 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
-// Close frees the allocation on its owning device and retires the handle
-// from the pool's routing registry. An in-flight migration completes (or
-// rolls back) before the free — ctl serializes the two.
+// Close frees the allocation on its owning device, returns its stored
+// bytes to the owning tenant's quota, and retires the handle from the
+// pool's routing registry. An in-flight migration completes (or rolls
+// back) before the free — ctl serializes the two.
 func (h *Handle) Close() error {
 	h.ctl.Lock()
 	defer h.ctl.Unlock()
@@ -558,8 +611,14 @@ func (h *Handle) Close() error {
 	h.mu.RUnlock()
 	err := a.Close()
 	h.pool.forget(h)
+	// Swap, not Load+Store: the quota is released exactly once even if a
+	// racing requota re-derived it a moment ago.
+	h.tn.release(h.quota.Swap(0))
 	return err
 }
+
+// Owner returns the handle's owning tenant name.
+func (h *Handle) Owner() string { return h.tn.name }
 
 // Memcpy copies n bytes from the start of src to the start of dst through
 // both compression pipelines; the handles may live on different shards

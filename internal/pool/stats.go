@@ -72,6 +72,13 @@ type Stats struct {
 	MetadataCacheHitRate float64
 	// Async is the submission-queue coalescing telemetry.
 	Async AsyncStats
+	// Tenants holds per-tenant serving telemetry — quota occupancy,
+	// admission rejections, queue depth and the modeled latency
+	// distribution — default tenant first, the rest in sorted name order.
+	Tenants []TenantStats
+	// Latency is the fleet-wide modeled completion-latency distribution
+	// (every tenant's histogram summed), in device+link cycles.
+	Latency LatencyDist
 }
 
 func addTraffic(a, b core.Traffic) core.Traffic {
@@ -132,6 +139,13 @@ func (p *Pool) Stats() Stats {
 		CoalescedTasks: p.async.coalescedTasks.Load(),
 		CoalescedRuns:  p.async.coalescedRuns.Load(),
 	}
+	st.Tenants = make([]TenantStats, len(p.tenants))
+	var fleet [latBuckets]uint64
+	for i, t := range p.tenants {
+		st.Tenants[i] = t.stats()
+		t.lat.snapshotInto(&fleet)
+	}
+	st.Latency = distFrom(&fleet)
 	return st
 }
 
@@ -236,5 +250,37 @@ func (p *Pool) ApplyReprofile(plan *core.ReprofilePlan) (core.MigrationStats, er
 		}(i, pl)
 	}
 	wg.Wait()
+	// Reprofiling changes what allocations reserve on the device, and
+	// tenant quotas are accounted in exactly those stored bytes — re-derive
+	// every handle's charge so the books match the new targets.
+	p.requota()
 	return st, errors.Join(errs...)
+}
+
+// requota re-derives every live handle's stored-bytes charge from its
+// current target and reconciles the owning tenant's counter by the delta.
+// Cross-shard migration never changes a reservation, so only reprofiles
+// need this.
+func (p *Pool) requota() {
+	p.routeMu.Lock()
+	hs := make([]*Handle, 0, len(p.handles))
+	for _, h := range p.handles {
+		hs = append(hs, h)
+	}
+	p.routeMu.Unlock()
+	for _, h := range hs {
+		// ctl excludes a racing Handle.Close: once Close has run (the
+		// handle is forgotten), re-charging it would leak quota forever.
+		h.ctl.Lock()
+		p.routeMu.Lock()
+		_, live := p.handles[h.id]
+		p.routeMu.Unlock()
+		if live {
+			q := quotaFor(h.size, h.Target())
+			if d := q - h.quota.Swap(q); d != 0 {
+				h.tn.stored.Add(d)
+			}
+		}
+		h.ctl.Unlock()
+	}
 }

@@ -191,3 +191,59 @@ func Ratio(a, b float64) float64 {
 	}
 	return a / b
 }
+
+// LogQuantile returns the q-quantile (0 <= q <= 1) of a sample summarized
+// by power-of-two log buckets: counts[b] holds the number of samples x
+// with bits.Len64(x) == b — bucket 0 is exactly x == 0, bucket b >= 1
+// covers [2^(b-1), 2^b). The estimate interpolates linearly within the
+// selected bucket's range, so adjacent quantiles of a smooth distribution
+// do not all snap to bucket boundaries. Returns 0 for an empty histogram.
+//
+// This is the read side of the serving layer's fixed-bucket latency
+// histograms: recording is a single atomic increment on the hot path, and
+// percentile math happens here, on snapshots.
+func LogQuantile(counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the (fractional) number of samples at or below the result.
+	rank := q * float64(total)
+	var cum float64
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		if b == 0 {
+			return 0
+		}
+		lo := math.Exp2(float64(b - 1))
+		hi := math.Exp2(float64(b))
+		frac := (rank - cum) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	// Fell off the end (rank == total with trailing zero buckets).
+	for b := len(counts) - 1; b >= 0; b-- {
+		if counts[b] != 0 {
+			if b == 0 {
+				return 0
+			}
+			return math.Exp2(float64(b))
+		}
+	}
+	return 0
+}

@@ -104,3 +104,44 @@ func TestRatio(t *testing.T) {
 		t.Error("Ratio broken")
 	}
 }
+
+func TestLogQuantile(t *testing.T) {
+	if got := LogQuantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %f, want 0", got)
+	}
+	// All mass in bucket 0 (samples exactly 0).
+	if got := LogQuantile([]uint64{7}, 0.99); got != 0 {
+		t.Errorf("zero bucket = %f, want 0", got)
+	}
+	// One sample with bits.Len64(x)==3, i.e. x in [4, 8): every quantile
+	// interpolates within that bucket's range.
+	counts := []uint64{0, 0, 0, 1}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := LogQuantile(counts, q); got < 4 || got > 8 {
+			t.Errorf("q=%.2f = %f, want within [4, 8]", q, got)
+		}
+	}
+	// 10 samples in [4,8), 10 in [8,16): the median sits at the bucket
+	// boundary and q=0.75 lands mid-way through the upper bucket.
+	counts = []uint64{0, 0, 0, 10, 10}
+	if got := LogQuantile(counts, 0.5); !almostEq(got, 8, 1e-9) {
+		t.Errorf("median = %f, want 8", got)
+	}
+	if got := LogQuantile(counts, 0.75); !almostEq(got, 12, 1e-9) {
+		t.Errorf("q75 = %f, want 12", got)
+	}
+	// Quantiles are monotone in q, and out-of-range q clamps.
+	prev := 0.0
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.75, 1, 2} {
+		got := LogQuantile(counts, q)
+		if got < prev {
+			t.Errorf("q=%.2f = %f not monotone (prev %f)", q, got, prev)
+		}
+		prev = got
+	}
+	// Trailing empty buckets: q=1 reports the top non-empty bucket's upper
+	// edge, not a phantom tail.
+	if got := LogQuantile([]uint64{0, 0, 3, 0, 0}, 1); !almostEq(got, 4, 1e-9) {
+		t.Errorf("q1 with trailing zeros = %f, want 4", got)
+	}
+}

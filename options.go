@@ -23,6 +23,7 @@ type config struct {
 	onRecover   func(RecoveryStats)
 	rebalEvery  time.Duration
 	rebalSkew   float64
+	tenants     map[string]TenantConfig
 }
 
 // Option configures a Device built by New or a Pool built by NewPool. The
@@ -91,6 +92,7 @@ func NewPool(opts ...Option) (*Pool, error) {
 		OnRecover:         cfg.onRecover,
 		RebalanceInterval: cfg.rebalEvery,
 		RebalanceSkew:     cfg.rebalSkew,
+		Tenants:           cfg.tenants,
 	})
 }
 
@@ -113,6 +115,26 @@ func WithPlacement(p Placement) Option {
 // The default is GOMAXPROCS at pool construction.
 func WithQueueDepth(n int) Option {
 	return func(cfg *config) { cfg.queueDepth = n }
+}
+
+// WithTenants declares a NewPool's named tenants: per-tenant capacity
+// quota (admission control at Malloc, accounted in stored compressed
+// bytes — ErrQuotaExceeded when exceeded), weighted-fair scheduling share
+// and priority class. Obtain a tenant's Malloc front door with
+// Pool.Tenant(name); per-tenant latency distributions and quota occupancy
+// appear in Pool.Stats().Tenants. The default tenant (untenanted traffic)
+// always exists; an entry named DefaultTenant configures it. Ignored by
+// New.
+//
+//	p, err := buddy.NewPool(
+//		buddy.WithShards(4),
+//		buddy.WithTenants(map[string]buddy.TenantConfig{
+//			"batch":   {Weight: 3},
+//			"latency": {Priority: 2, CapacityBytes: 256 << 20},
+//		}),
+//	)
+func WithTenants(tenants map[string]TenantConfig) Option {
+	return func(cfg *config) { cfg.tenants = tenants }
 }
 
 // WithFailureInjector attaches a fault-injection hook to a NewPool: the

@@ -217,8 +217,8 @@ func TestAllocationIsReaderWriterAt(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	reg := ExperimentRegistry()
-	if len(reg) != 19 {
-		t.Fatalf("registered experiments = %d, want 19", len(reg))
+	if len(reg) != 20 {
+		t.Fatalf("registered experiments = %d, want 20", len(reg))
 	}
 	for _, e := range reg {
 		if e.Description == "" {
